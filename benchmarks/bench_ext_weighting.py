@@ -1,0 +1,142 @@
+"""Extension X2 (Section 5.4.2): triviality / IDF re-weighting of KBT.
+
+The paper's discussion: a Hindi-movie site whose extracted triples mostly
+say language=Hindi earns its KBT on trivial facts. The bench builds such a
+"trivia padder" site on top of the KV corpus, shows that raw KBT rewards
+it, and that entropy/IDF re-weighting (our implementation of the proposed
+remedies) pushes its score down while leaving honest sites stable.
+"""
+
+import statistics
+
+from conftest import MULTI_LAYER_CONFIG, save_result
+
+from repro.core.multi_layer import MultiLayerModel
+from repro.core.observation import ObservationMatrix
+from repro.core.types import DataItem, ExtractionRecord, page_source, pattern_extractor
+from repro.core.weighting import (
+    idf_weights,
+    predicate_variety_weights,
+    reweighted_source_accuracy,
+    weighted_support,
+)
+from repro.util.tables import format_table
+
+PADDER = "trivia-padder.example"
+
+
+def padder_records(kv_corpus):
+    """A site whose claims are one dominant (trivial) language value plus a
+    handful of wrong director claims."""
+    world = kv_corpus.world
+    films = world.items_for_predicate("language")
+    records = []
+    # The most common true language value in the world becomes "the" value.
+    values = [world.true_value(item) for item in films]
+    dominant = max(set(values), key=values.count)
+    trivia_films = [i for i in films if world.true_value(i) == dominant]
+    extractor = pattern_extractor("sys00", "pad-pat", "language", PADDER)
+    for item in trivia_films:
+        records.append(
+            ExtractionRecord(
+                extractor=extractor,
+                source=page_source(PADDER, "language", f"{PADDER}/p0"),
+                item=item,
+                value=dominant,
+            )
+        )
+    directors = world.items_for_predicate("director")[:8]
+    extractor_d = pattern_extractor("sys00", "pad-pat", "director", PADDER)
+    for item in directors:
+        wrong = world.facts(item).false_values()[0]
+        records.append(
+            ExtractionRecord(
+                extractor=extractor_d,
+                source=page_source(PADDER, "director", f"{PADDER}/p0"),
+                item=DataItem(item.subject, item.predicate),
+                value=wrong,
+            )
+        )
+    return records
+
+
+def site_score(accuracy_by_source, support, website):
+    numer = denom = 0.0
+    for source, accuracy in accuracy_by_source.items():
+        if source.website != website:
+            continue
+        weight = support.get(source, 0.0)
+        numer += weight * accuracy
+        denom += weight
+    return numer / denom if denom else float("nan")
+
+
+def run_extension(kv_corpus) -> tuple[str, dict]:
+    records = list(kv_corpus.campaign.records) + padder_records(kv_corpus)
+    obs = ObservationMatrix.from_records(records)
+    result = MultiLayerModel(MULTI_LAYER_CONFIG).fit(obs)
+    support = result.expected_triples_by_source()
+
+    variety = predicate_variety_weights(obs)
+    idf = idf_weights(obs)
+    # Each variant re-weights both the per-source accuracy (Eq. 28 under
+    # weights) and the per-source mass used for website aggregation; the
+    # latter is what strips a trivia-only source of its influence.
+    variants = {
+        "raw KBT": (dict(result.source_accuracy), support),
+        "variety-weighted": (
+            reweighted_source_accuracy(result, predicate_weights=variety),
+            weighted_support(result, predicate_weights=variety),
+        ),
+        "IDF-weighted": (
+            reweighted_source_accuracy(result, triple_weights=idf),
+            weighted_support(result, triple_weights=idf),
+        ),
+    }
+
+    mainstream = [
+        site.name for site in kv_corpus.sites
+        if site.cohort == "mainstream"
+    ][:40]
+    rows = []
+    stats = {}
+    for name, (accuracy, support_variant) in variants.items():
+        padder = site_score(accuracy, support_variant, PADDER)
+        honest = statistics.mean(
+            score
+            for score in (
+                site_score(accuracy, support_variant, site)
+                for site in mainstream
+            )
+            if score == score  # drop NaNs
+        )
+        rows.append([name, padder, honest])
+        stats[name] = (padder, honest)
+    text = format_table(
+        ["Variant", "trivia-padder KBT", "mean mainstream KBT"],
+        rows,
+        title=(
+            "Extension X2: triviality/IDF weighting "
+            "(Section 5.4.2 future work)"
+        ),
+        float_format="{:.3f}",
+    )
+    return text, stats
+
+
+def test_bench_weighting_extension(benchmark, kv_corpus):
+    text, stats = benchmark.pedantic(
+        run_extension, args=(kv_corpus,), rounds=1, iterations=1
+    )
+    save_result("ext_weighting", text)
+    raw_padder, raw_honest = stats["raw KBT"]
+    for variant in ("variety-weighted", "IDF-weighted"):
+        padder, honest = stats[variant]
+        # Re-weighting must hurt the padder more than honest sites.
+        assert raw_padder - padder > (raw_honest - honest) - 0.02
+    # IDF weighting captures triviality best (the padder's dominant value
+    # is common corpus-wide) and must reduce its score materially; the
+    # entropy variant is gentler because 'language' is not trivial across
+    # the whole corpus, only on the padder site.
+    assert stats["IDF-weighted"][0] < raw_padder - 0.05
+    assert stats["variety-weighted"][0] < raw_padder - 0.02

@@ -1,0 +1,94 @@
+"""Figure 10 + Section 5.4.1: KBT vs PageRank.
+
+PageRank runs over a synthetic hyperlink graph whose popularity is drawn
+independently of accuracy. Expected results (paper):
+
+* the two signals are nearly orthogonal for ordinary sites;
+* low-PageRank/high-KBT: most manually-verified trustworthy sites are
+  tail sources (only 20/85 had PageRank above 0.5);
+* high-PageRank/low-KBT: gossip sites sit in the PageRank top 15% but the
+  KBT bottom half (14/15 in the paper).
+"""
+
+from conftest import MULTI_LAYER_CONFIG, save_result
+
+from repro.core.kbt import KBTEstimator
+from repro.util.tables import format_table
+from repro.web.analysis import (
+    join_kbt_pagerank,
+    pearson_correlation,
+    quadrant_analysis,
+)
+from repro.web.graph import generate_web_graph
+from repro.web.pagerank import pagerank
+
+
+def run_fig10(kv_corpus) -> tuple[str, dict]:
+    estimator = KBTEstimator(config=MULTI_LAYER_CONFIG, min_triples=5.0)
+    report = estimator.estimate(kv_corpus.observation())
+    kbt = {site: s.score for site, s in report.website_scores().items()}
+    graph = generate_web_graph(kv_corpus.site_popularity(), seed=5)
+    ranks = pagerank(graph)
+    points = join_kbt_pagerank(kbt, ranks, cohorts=kv_corpus.cohorts())
+    quadrants = quadrant_analysis(points, kbt_high=0.85)
+
+    mainstream = [(p.kbt, p.pagerank) for p in points
+                  if p.cohort == "mainstream"]
+    mainstream_corr = pearson_correlation(mainstream)
+
+    by_cohort = {}
+    for cohort in ("mainstream", "gossip", "tail-quality"):
+        sub = [p for p in points if p.cohort == cohort]
+        if sub:
+            by_cohort[cohort] = (
+                len(sub),
+                sum(p.kbt for p in sub) / len(sub),
+                sum(p.pagerank for p in sub) / len(sub),
+            )
+    rows = [
+        [cohort, count, mean_kbt, mean_pr]
+        for cohort, (count, mean_kbt, mean_pr) in by_cohort.items()
+    ]
+    table = format_table(
+        ["Cohort", "Sites", "Mean KBT", "Mean PageRank"],
+        rows,
+        title="Figure 10: KBT vs PageRank by cohort",
+        float_format="{:.3f}",
+    )
+    summary = (
+        f"joined sites: {quadrants.num_points}\n"
+        f"overall Pearson r: {quadrants.correlation:+.3f} "
+        f"(engineered cohorts make this negative)\n"
+        f"mainstream-only Pearson r: {mainstream_corr:+.3f} "
+        f"(paper: 'almost orthogonal')\n"
+        f"high-KBT sites with PageRank > 0.5: "
+        f"{quadrants.high_kbt_popular_count}/{quadrants.high_kbt_count} "
+        f"(paper: 20/85)\n"
+        f"PageRank-top-15% sites in the KBT bottom half: "
+        f"{quadrants.top_pr_low_kbt_count}/{quadrants.top_pr_count} "
+        f"(paper: 14/15)"
+    )
+    stats = {
+        "mainstream_corr": mainstream_corr,
+        "quadrants": quadrants,
+        "cohorts": by_cohort,
+    }
+    return "\n\n".join([table, summary]), stats
+
+
+def test_bench_fig10(benchmark, kv_corpus):
+    text, stats = benchmark.pedantic(
+        run_fig10, args=(kv_corpus,), rounds=1, iterations=1
+    )
+    save_result("fig10_kbt_vs_pagerank", text)
+    # Orthogonality for ordinary sites.
+    assert abs(stats["mainstream_corr"]) < 0.4
+    # Gossip: popular but untrustworthy; tail-quality: the reverse.
+    cohorts = stats["cohorts"]
+    assert cohorts["gossip"][1] < cohorts["mainstream"][1]
+    assert cohorts["gossip"][2] > cohorts["mainstream"][2]
+    assert cohorts["tail-quality"][1] > cohorts["gossip"][1]
+    # Most trustworthy sites are not popular (the 20/85 quadrant).
+    q = stats["quadrants"]
+    assert q.high_kbt_count > 0
+    assert q.high_kbt_popular_fraction < 0.5

@@ -1,0 +1,65 @@
+"""Figure 5: distribution of #triples per URL and per extraction pattern.
+
+The paper's long tail motivates SPLITANDMERGE: 74% of URLs contribute
+fewer than 5 triples while single URLs contribute >50K; 48% of extraction
+patterns extract fewer than 5 triples while 43 patterns exceed 1M. The
+bench reproduces the same bucketed histogram over the synthetic corpus.
+"""
+
+from conftest import save_result
+
+from repro.util.tables import format_histogram
+
+BUCKETS = [
+    ("1", 1, 1), ("2", 2, 2), ("3", 3, 3), ("4", 4, 4), ("5", 5, 5),
+    ("6-10", 6, 10), ("11-100", 11, 100), ("101-1K", 101, 1_000),
+    (">1K", 1_001, float("inf")),
+]
+
+
+def bucketize(counts: dict) -> list[tuple[str, float]]:
+    out = []
+    values = list(counts.values())
+    for label, low, high in BUCKETS:
+        out.append(
+            (label, float(sum(1 for v in values if low <= v <= high)))
+        )
+    return out
+
+
+def run_fig5(kv_corpus) -> tuple[str, float, float]:
+    per_url = kv_corpus.triples_per_url()
+    per_pattern = kv_corpus.triples_per_pattern()
+    url_hist = format_histogram(
+        bucketize(per_url),
+        title="Figure 5a: #URLs with X extracted triples",
+        value_format="{:.0f}",
+    )
+    pattern_hist = format_histogram(
+        bucketize(per_pattern),
+        title="Figure 5b: #(system, pattern) pairs with X extracted triples",
+        value_format="{:.0f}",
+    )
+    small_urls = sum(1 for v in per_url.values() if v < 5) / len(per_url)
+    small_patterns = sum(1 for v in per_pattern.values() if v < 5) / len(
+        per_pattern
+    )
+    summary = (
+        f"URLs with < 5 triples: {small_urls:.1%} (paper: 74%)\n"
+        f"patterns with < 5 triples: {small_patterns:.1%} (paper: 48%)\n"
+        f"largest URL: {max(per_url.values())} triples; "
+        f"largest pattern: {max(per_pattern.values())} triples"
+    )
+    return "\n\n".join([url_hist, pattern_hist, summary]), small_urls, (
+        small_patterns
+    )
+
+
+def test_bench_fig5(benchmark, kv_corpus):
+    text, small_urls, small_patterns = benchmark.pedantic(
+        run_fig5, args=(kv_corpus,), rounds=1, iterations=1
+    )
+    save_result("fig5_distributions", text)
+    # The long tail must dominate, as in the paper.
+    assert small_urls > 0.25
+    assert small_patterns > 0.25

@@ -1,0 +1,56 @@
+"""Figure 8: calibration curves of the "+" methods on the KV corpus.
+
+Each bucket of predicted probability (the paper's Section 5.1.1 scheme) is
+plotted against the gold-standard accuracy of its triples; a perfectly
+calibrated method lies on the diagonal. Expected: all three "+" methods
+are roughly calibrated, with the multi-layer variants tightest.
+"""
+
+from conftest import save_result
+from kv_methods import METHOD_RUNNERS
+
+from repro.eval.calibration import calibration_curve, weighted_deviation
+from repro.util.tables import format_table
+
+PLUS_METHODS = ("SINGLELAYER+", "MULTILAYER+", "MULTILAYERSM+")
+
+
+def run_fig8(kv_corpus, labels, smart_init) -> tuple[str, dict]:
+    sections = []
+    wdevs = {}
+    for name in PLUS_METHODS:
+        runner, _ = METHOD_RUNNERS[name]
+        predictions, _result = runner(kv_corpus, labels, smart_init)
+        points = calibration_curve(predictions, labels)
+        rows = [
+            [f"[{p.low:.2f},{p.high:.2f})", p.mean_predicted,
+             p.real_probability, p.count]
+            for p in points
+        ]
+        sections.append(
+            format_table(
+                ["Bucket", "Predicted", "Real", "Count"],
+                rows,
+                title=f"Figure 8 calibration curve: {name}",
+                float_format="{:.3f}",
+            )
+        )
+        wdevs[name] = weighted_deviation(predictions, labels)
+    sections.append(
+        "WDev: "
+        + ", ".join(f"{name}={wdevs[name]:.4f}" for name in PLUS_METHODS)
+    )
+    return "\n\n".join(sections), wdevs
+
+
+def test_bench_fig8(benchmark, kv_corpus, kv_gold_labels, kv_smart_init):
+    text, wdevs = benchmark.pedantic(
+        run_fig8,
+        args=(kv_corpus, kv_gold_labels, kv_smart_init),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig8_calibration", text)
+    # All "+" methods are reasonably calibrated (paper: near-diagonal).
+    for name, wdev in wdevs.items():
+        assert wdev < 0.05, name

@@ -1,0 +1,58 @@
+"""Figure 9: precision-recall curves of the "+" methods on the KV corpus.
+
+Triples ranked by predicted probability; the paper's observation is that
+MULTILAYER+ dominates the curve (the single layer predicts low
+probabilities for many true triples and loses precision early).
+"""
+
+from conftest import save_result
+from kv_methods import METHOD_RUNNERS
+
+from repro.eval.pr import auc_pr, pr_curve
+from repro.util.tables import format_table
+
+PLUS_METHODS = ("SINGLELAYER+", "MULTILAYER+", "MULTILAYERSM+")
+RECALL_GRID = [i / 10 for i in range(1, 11)]
+
+
+def precision_at(points, recall_level):
+    """Highest precision achieved at recall >= recall_level."""
+    eligible = [p for r, p in points if r >= recall_level]
+    return max(eligible) if eligible else 0.0
+
+
+def run_fig9(kv_corpus, labels, smart_init) -> tuple[str, dict]:
+    curves = {}
+    aucs = {}
+    for name in PLUS_METHODS:
+        runner, _ = METHOD_RUNNERS[name]
+        predictions, _result = runner(kv_corpus, labels, smart_init)
+        curves[name] = pr_curve(predictions, labels)
+        aucs[name] = auc_pr(predictions, labels)
+    rows = [
+        [recall] + [precision_at(curves[name], recall)
+                    for name in PLUS_METHODS]
+        for recall in RECALL_GRID
+    ]
+    table = format_table(
+        ["Recall"] + list(PLUS_METHODS),
+        rows,
+        title="Figure 9: precision at recall levels",
+        float_format="{:.3f}",
+    )
+    summary = "AUC-PR: " + ", ".join(
+        f"{name}={aucs[name]:.3f}" for name in PLUS_METHODS
+    )
+    return "\n\n".join([table, summary]), aucs
+
+
+def test_bench_fig9(benchmark, kv_corpus, kv_gold_labels, kv_smart_init):
+    text, aucs = benchmark.pedantic(
+        run_fig9,
+        args=(kv_corpus, kv_gold_labels, kv_smart_init),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig9_pr_curves", text)
+    # The multi-layer variants must match or beat the single layer.
+    assert aucs["MULTILAYER+"] >= aucs["SINGLELAYER+"] - 0.01

@@ -1,0 +1,55 @@
+"""Table 5: method comparison on the KV corpus (SqV, WDev, AUC-PR, Cov).
+
+Paper values for reference (real 2.8B-triple KV snapshot):
+
+    SINGLELAYER     0.131  0.061   0.454  0.952
+    MULTILAYER      0.105  0.042   0.439  0.849
+    MULTILAYERSM    0.090  0.021   0.449  0.939
+    SINGLELAYER+    0.063  0.0043  0.630  0.953
+    MULTILAYER+     0.054  0.0040  0.693  0.864
+    MULTILAYERSM+   0.059  0.0039  0.631  0.955
+
+Expected shapes: the multi-layer variants beat the single layer on SqV and
+WDev; smart initialisation ("+") improves every method sharply; coverage
+is lower for MULTILAYER (fine granularity below support) and recovers with
+SPLITANDMERGE; MULTILAYER+ has the best AUC-PR.
+"""
+
+from conftest import save_result
+from kv_methods import METHOD_RUNNERS
+
+from repro.eval.report import method_table, score_method
+
+
+def run_table5(kv_corpus, labels, smart_init) -> tuple[str, dict]:
+    scores = []
+    by_name = {}
+    for name, (runner, wants_init) in METHOD_RUNNERS.items():
+        predictions, _result = runner(
+            kv_corpus, labels, smart_init if wants_init else None
+        )
+        method_scores = score_method(name, predictions, labels)
+        scores.append(method_scores)
+        by_name[name] = method_scores
+    text = method_table(
+        scores, title="Table 5: method comparison on the KV corpus"
+    )
+    return text, by_name
+
+
+def test_bench_table5(benchmark, kv_corpus, kv_gold_labels, kv_smart_init):
+    text, scores = benchmark.pedantic(
+        run_table5,
+        args=(kv_corpus, kv_gold_labels, kv_smart_init),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table5_kv", text)
+    # Multi-layer beats single layer on SqV (default and + variants).
+    assert scores["MULTILAYER"].sqv < scores["SINGLELAYER"].sqv
+    assert scores["MULTILAYER+"].sqv < scores["SINGLELAYER+"].sqv
+    # Smart initialisation improves AUC-PR for every method.
+    for method in ("SINGLELAYER", "MULTILAYER", "MULTILAYERSM"):
+        assert scores[method + "+"].auc_pr >= scores[method].auc_pr - 0.02
+    # Split-and-merge recovers coverage lost to fine granularity.
+    assert scores["MULTILAYERSM"].cov >= scores["MULTILAYER"].cov

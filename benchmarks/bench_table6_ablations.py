@@ -1,0 +1,66 @@
+"""Table 6: contribution of the inference components (ablations).
+
+Rows (paper):
+    MULTILAYER+                baseline        0.054  0.0040  0.693  0.864
+    p(Vd|Chat_d)               MAP C in V step 0.061  0.0038  0.570  0.880
+    Not updating alpha         fixed prior     0.055  0.0057  0.699  0.864
+    p(C|I(X > phi))            thresholded     0.053  0.0040  0.696  0.864
+
+Expected shapes: dropping the weighted estimator (MAP Chat) hurts AUC-PR
+and SqV; freezing the prior hurts WDev (calibration); thresholding the
+confidences at phi=0 is roughly a wash.
+"""
+
+import dataclasses
+
+from conftest import MULTI_LAYER_CONFIG, save_result
+
+from repro.core.multi_layer import MultiLayerModel
+from repro.eval.metrics import triple_predictions
+from repro.eval.report import method_table, score_method
+
+ABLATIONS = {
+    "MULTILAYER+": {},
+    "p(Vd|Chat_d)": {"use_weighted_vcv": False},
+    "Not updating alpha": {"update_prior": False},
+    "p(C|I(X>phi))": {"confidence_threshold": 0.0},
+}
+
+
+def run_table6(kv_corpus, labels, smart_init) -> tuple[str, dict]:
+    obs = kv_corpus.observation()
+    scores = []
+    by_name = {}
+    for name, overrides in ABLATIONS.items():
+        config = dataclasses.replace(MULTI_LAYER_CONFIG, **overrides)
+        result = MultiLayerModel(config).fit(
+            obs,
+            initial_source_accuracy=smart_init[0],
+            initial_extractor_quality=smart_init[1],
+        )
+        method_scores = score_method(
+            name, triple_predictions(result, labels), labels
+        )
+        scores.append(method_scores)
+        by_name[name] = method_scores
+    text = method_table(
+        scores, title="Table 6: contribution of inference components"
+    )
+    return text, by_name
+
+
+def test_bench_table6(benchmark, kv_corpus, kv_gold_labels, kv_smart_init):
+    text, scores = benchmark.pedantic(
+        run_table6,
+        args=(kv_corpus, kv_gold_labels, kv_smart_init),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table6_ablations", text)
+    baseline = scores["MULTILAYER+"]
+    # The MAP-Chat ablation must not beat the weighted estimator on AUC-PR.
+    assert scores["p(Vd|Chat_d)"].auc_pr <= baseline.auc_pr + 0.01
+    # Freezing the prior must not improve calibration.
+    assert scores["Not updating alpha"].wdev >= baseline.wdev - 0.002
+    # Thresholding is a small perturbation either way.
+    assert abs(scores["p(C|I(X>phi))"].sqv - baseline.sqv) < 0.05

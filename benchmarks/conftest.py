@@ -1,0 +1,78 @@
+"""Shared fixtures for the experiment benches.
+
+Every bench regenerates one table or figure of the paper: it runs the
+experiment once (``benchmark.pedantic`` with a single round — these are
+experiments, not micro-benchmarks), prints the resulting table/series, and
+writes it to ``benchmarks/results/<id>.txt`` so the output survives pytest's
+output capture. EXPERIMENTS.md summarises paper-vs-measured for each.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.config import (
+    AbsenceScope,
+    GranularityConfig,
+    MultiLayerConfig,
+    SingleLayerConfig,
+)
+from repro.datasets.kv import KVConfig, generate_kv
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The corpus every KV-data bench shares (Tables 5-7, Figures 5-10).
+BENCH_KV_CONFIG = KVConfig(
+    num_websites=400,
+    items_per_predicate=60,
+    num_systems=16,
+    pages_zipf_exponent=0.9,
+    claims_zipf_exponent=0.9,
+    max_pages_per_site=30,
+    max_claims_per_page=250,
+    max_patterns_per_system=80,
+    broad_pattern_fraction=0.2,
+    narrow_affinity_base=0.004,
+    seed=17,
+)
+
+#: Model configurations of the Section 5.1.2 methods.
+SINGLE_LAYER_CONFIG = SingleLayerConfig(n=100, min_source_support=3)
+MULTI_LAYER_CONFIG = MultiLayerConfig(
+    absence_scope=AbsenceScope.ACTIVE,
+    min_extractor_support=3,
+    min_source_support=2,
+)
+SPLIT_MERGE_CONFIG = GranularityConfig(min_size=5, max_size=10_000)
+
+
+@pytest.fixture(scope="session")
+def kv_corpus():
+    """The KV-scale synthetic corpus (~90K extraction records)."""
+    return generate_kv(BENCH_KV_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def kv_gold_labels(kv_corpus):
+    """Gold labels (LCWA + type check) over the corpus's triples."""
+    return kv_corpus.gold.labeled_triples(kv_corpus.observation())
+
+
+@pytest.fixture(scope="session")
+def kv_smart_init(kv_corpus):
+    """Gold-standard initialisation for the '+' method variants."""
+    obs = kv_corpus.observation()
+    return (
+        kv_corpus.gold.initial_source_accuracy(obs),
+        kv_corpus.gold.initial_extractor_quality(obs),
+    )
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a bench artifact and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,107 @@
+"""The full KBT pipeline on a Knowledge-Vault-scale synthetic corpus.
+
+Generates a corpus of websites x pages x extractors (heavy-tailed, with
+popular-but-wrong gossip sites and accurate-but-obscure tail sites), fits
+the multi-layer model with gold-standard initialisation, and contrasts the
+resulting KBT scores with PageRank over a synthetic hyperlink graph — the
+Section 5.4 analysis.
+
+Run:  python examples/kv_pipeline.py
+"""
+
+from repro import AbsenceScope, KBTEstimator, MultiLayerConfig
+from repro.datasets.kv import KVConfig, generate_kv
+from repro.eval.report import method_table, score_method
+from repro.eval.metrics import triple_predictions
+from repro.web.analysis import join_kbt_pagerank, quadrant_analysis
+from repro.web.graph import generate_web_graph
+from repro.web.pagerank import pagerank
+
+
+def main():
+    print("generating corpus ...")
+    kv = generate_kv(
+        KVConfig(
+            num_websites=150,
+            items_per_predicate=40,
+            num_systems=10,
+            seed=23,
+        )
+    )
+    obs = kv.observation()
+    print(
+        f"  {len(kv.sites)} sites, {obs.num_records} extraction records, "
+        f"{obs.num_triples} distinct triples\n"
+    )
+
+    config = MultiLayerConfig(
+        absence_scope=AbsenceScope.ACTIVE,
+        min_extractor_support=3,
+        min_source_support=2,
+    )
+    estimator = KBTEstimator(config=config, min_triples=5.0)
+    print("fitting the multi-layer model (gold-initialised) ...")
+    report = estimator.estimate(
+        obs,
+        initial_source_accuracy=kv.gold.initial_source_accuracy(obs),
+        initial_extractor_quality=kv.gold.initial_extractor_quality(obs),
+    )
+
+    labels = kv.gold.labeled_triples(obs)
+    scores = score_method(
+        "MULTILAYER+", triple_predictions(report.result, labels), labels
+    )
+    print(method_table([scores], title="\ntriple-level quality:"))
+
+    kbt = {site: s.score for site, s in report.website_scores().items()}
+    print(f"\nKBT computed for {len(kbt)} websites (>= 5 triples)")
+
+    truth = kv.true_site_accuracy
+    worst = sorted(kbt, key=kbt.get)[:5]
+    best = sorted(kbt, key=kbt.get, reverse=True)[:5]
+    print("\nmost trusted sites (KBT vs true accuracy):")
+    for site in best:
+        print(f"  {site:22s} {kbt[site]:.3f}  (truth {truth[site]:.3f})")
+    print("least trusted sites:")
+    for site in worst:
+        print(f"  {site:22s} {kbt[site]:.3f}  (truth {truth[site]:.3f})")
+
+    print("\ncomputing PageRank over the synthetic web graph ...")
+    graph = generate_web_graph(kv.site_popularity(), seed=1)
+    ranks = pagerank(graph)
+    points = join_kbt_pagerank(kbt, ranks, cohorts=kv.cohorts())
+    quadrants = quadrant_analysis(points, kbt_high=0.85)
+    print(f"  joined sites: {quadrants.num_points}")
+    print(
+        f"  Pearson r(KBT, PageRank) = {quadrants.correlation:+.3f} "
+        f"(negative: the gossip/tail cohorts are anti-correlated by design)"
+    )
+    from repro.web.analysis import pearson_correlation
+
+    mainstream = [
+        (p.kbt, p.pagerank) for p in points if p.cohort == "mainstream"
+    ]
+    print(
+        f"  mainstream-only r = {pearson_correlation(mainstream):+.3f} "
+        f"(the paper's 'almost orthogonal' signal)"
+    )
+    print(
+        f"  high-KBT sites that are also popular: "
+        f"{quadrants.high_kbt_popular_count}/{quadrants.high_kbt_count}"
+    )
+    print(
+        f"  PageRank top-15% sites in the KBT bottom half: "
+        f"{quadrants.top_pr_low_kbt_count}/{quadrants.top_pr_count}"
+    )
+    gossip = [p for p in points if p.cohort == "gossip"]
+    if gossip:
+        mean_kbt = sum(p.kbt for p in gossip) / len(gossip)
+        mean_pr = sum(p.pagerank for p in gossip) / len(gossip)
+        print(
+            f"  gossip sites: mean PageRank {mean_pr:.3f} (popular) but "
+            f"mean KBT {mean_kbt:.3f} (untrustworthy)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Quickstart: estimate Knowledge-Based Trust for a handful of websites.
+
+Three extraction systems observed claims about capital cities on five
+websites. One site disagrees with everyone; one extractor is sloppy. KBT
+separates the two failure modes: the bad *site* gets a low trust score
+while good sites are not penalised for the bad *extractor*'s mistakes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DataItem,
+    ExtractionRecord,
+    ExtractorKey,
+    KBTEstimator,
+    page_source,
+)
+
+CAPITALS = {
+    "france": "paris",
+    "italy": "rome",
+    "spain": "madrid",
+    "poland": "warsaw",
+    "norway": "oslo",
+    "greece": "athens",
+}
+
+
+def build_records():
+    """Simulate extractions from five sites by three systems."""
+    records = []
+    sites = {
+        "atlas.example": dict(CAPITALS),  # accurate
+        "geo.example": dict(CAPITALS),  # accurate
+        "facts.example": dict(CAPITALS),  # accurate
+        "almanac.example": {**CAPITALS, "spain": "seville"},  # one slip
+        "clickbait.example": {  # systematically wrong
+            "france": "lyon", "italy": "milan", "spain": "seville",
+            "poland": "krakow", "norway": "bergen", "greece": "sparta",
+        },
+    }
+    for site, claims in sites.items():
+        for country, capital in claims.items():
+            item = DataItem(country, "capital")
+            source = page_source(site, "capital", f"{site}/countries.html")
+            # Two careful systems extract what the page says. (Extractor
+            # identity is pooled at (system, pattern) level: with only a
+            # handful of triples per site there is not enough data to
+            # assess per-site extractor quality.)
+            for system in ("sys-a", "sys-b"):
+                records.append(
+                    ExtractionRecord(
+                        extractor=ExtractorKey((system, "tbl-pattern")),
+                        source=source,
+                        item=item,
+                        value=capital,
+                        confidence=0.95,
+                    )
+                )
+            # A sloppy system garbles every third object.
+            garbled = (
+                "zurich" if hash((site, country)) % 3 == 0 else capital
+            )
+            records.append(
+                ExtractionRecord(
+                    extractor=ExtractorKey(("sys-c", "regex-pattern")),
+                    source=source,
+                    item=item,
+                    value=garbled,
+                    confidence=0.6,
+                )
+            )
+    return records
+
+
+def main():
+    records = build_records()
+    print(f"extraction records: {len(records)}\n")
+
+    estimator = KBTEstimator(min_triples=3.0)
+    report = estimator.estimate(records)
+
+    print("Knowledge-Based Trust per website:")
+    scores = sorted(
+        report.website_scores().items(),
+        key=lambda kv: -kv[1].score,
+    )
+    for website, score in scores:
+        print(f"  {website:22s} KBT = {score.score:.3f} "
+              f"(evidence: {score.support:.1f} triples)")
+
+    print("\nWhat the model believes about Spain's capital:")
+    item = DataItem("spain", "capital")
+    for value in ("madrid", "seville", "zurich"):
+        p = report.result.triple_probability(item, value)
+        if p is not None:
+            print(f"  p(capital = {value:8s}) = {p:.4f}")
+
+    print("\nLearned extractor precision (sys-c garbles objects):")
+    by_system = {}
+    for extractor, quality in report.result.extractor_quality.items():
+        by_system.setdefault(extractor.system, []).append(quality.precision)
+    for system, precisions in sorted(by_system.items()):
+        mean = sum(precisions) / len(precisions)
+        print(f"  {system}: mean precision {mean:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Detecting a scraper site that launders a gossip site's falsehoods.
+
+Copying inflates apparent corroboration: when scraper.example re-publishes
+gossip.example's false claims, naive vote counting sees two independent
+witnesses. The dependence test of repro.copydetect spots the copying — two
+independent sources share a *specific false value* with probability only
+(1-A)^2 / n per item, so an excess of shared falsehoods is a loud signal —
+and the independence weights discount the copier.
+
+Run:  python examples/scraper_detection.py
+"""
+
+from repro import (
+    DataItem,
+    ExtractionRecord,
+    ExtractorKey,
+    MultiLayerConfig,
+    MultiLayerModel,
+    ObservationMatrix,
+    SourceKey,
+)
+from repro.copydetect import (
+    CopyDetector,
+    collect_evidence,
+    independence_weights,
+)
+from repro.copydetect.evidence import claims_by_source
+
+
+def build_records():
+    records = []
+    truth = {f"person{k}": f"country{k % 7}" for k in range(40)}
+    gossip = {
+        subject: (value if k % 4 == 0 else f"wrong{k % 9}")
+        for k, (subject, value) in enumerate(truth.items())
+    }
+
+    def claim(site, subject, value):
+        records.append(
+            ExtractionRecord(
+                extractor=ExtractorKey(("sys-a",)),
+                source=SourceKey((site,)),
+                item=DataItem(subject, "nationality"),
+                value=value,
+            )
+        )
+
+    for site in ("wiki.example", "news.example", "bio.example"):
+        for subject, value in truth.items():
+            claim(site, subject, value)
+    for subject, value in gossip.items():
+        claim("gossip.example", subject, value)
+    # The scraper copies 70% of the gossip site, nothing else.
+    for k, (subject, value) in enumerate(gossip.items()):
+        if k % 10 < 7:
+            claim("scraper.example", subject, value)
+    # The gossip site has some content of its own the scraper missed.
+    for k in range(15):
+        claim("gossip.example", f"celebrity{k}", f"rumor{k}")
+    return records
+
+
+def main():
+    records = build_records()
+    obs = ObservationMatrix.from_records(records)
+    result = MultiLayerModel(MultiLayerConfig()).fit(obs)
+
+    print("fitted source accuracies:")
+    for source, accuracy in sorted(
+        result.source_accuracy.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {source.website:18s} {accuracy:.3f}")
+
+    claims = claims_by_source(result)
+    evidence = collect_evidence(
+        claims,
+        lambda item, value: (
+            (result.triple_probability(item, value) or 0.0) >= 0.5
+        ),
+        min_overlap=5,
+    )
+    detector = CopyDetector(n=10, copy_rate=0.8, prior=0.05)
+    verdicts = detector.detect(
+        evidence, result.source_accuracy, threshold=0.5
+    )
+
+    print("\ndependence verdicts (p >= 0.5):")
+    for verdict in verdicts:
+        e = verdict.evidence
+        print(
+            f"  {verdict.copier.website} copies "
+            f"{verdict.original.website}: p = {verdict.probability:.3f} "
+            f"(shared false: {e.shared_false}, shared true: "
+            f"{e.shared_true}, differ: {e.differ})"
+        )
+
+    weights = independence_weights(verdicts)
+    print("\nvote weights after discounting detected copiers:")
+    for source in sorted(result.source_accuracy, key=str):
+        weight = weights.get(source, 1.0)
+        print(f"  {source.website:18s} {weight:.2f}")
+
+
+if __name__ == "__main__":
+    main()

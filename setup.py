@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs.
+
+The execution environment has no ``wheel`` package (and no network), so the
+PEP 660 editable path (``pip install -e .``) cannot build a wheel. This shim
+lets ``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to
+``setup.py develop``. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""Copy detection between web sources (Section 5.4.2, item 4).
+
+The paper lists detecting scraper sites as required future work, citing
+the ACCUCOPY line of source-dependence analysis [7, 8]: *independent
+sources share false values only by chance* (one in n per Eq. 1), so an
+improbable number of shared false values is evidence of copying.
+
+* :mod:`repro.copydetect.evidence` — per-pair overlap statistics, split by
+  the fused truth estimate (shared-true / shared-false / differing);
+* :mod:`repro.copydetect.detector` — the Bayesian dependence test and the
+  direction heuristic;
+* :mod:`repro.copydetect.weights` — vote-discounting weights for detected
+  copiers, pluggable into KBT aggregation.
+"""
+
+from repro.copydetect.detector import CopyDetector, CopyVerdict
+from repro.copydetect.evidence import OverlapEvidence, collect_evidence
+from repro.copydetect.weights import independence_weights
+
+__all__ = [
+    "CopyDetector",
+    "CopyVerdict",
+    "OverlapEvidence",
+    "collect_evidence",
+    "independence_weights",
+]

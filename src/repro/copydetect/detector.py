@@ -1,0 +1,142 @@
+"""Bayesian source-dependence test (the ACCU copy model of [8]).
+
+Likelihood of the observed overlap under the two hypotheses, for sources
+with accuracies ``A_a``, ``A_b`` and ``n`` false values per item:
+
+* independence: agree-true with probability ``A_a A_b``; agree-false with
+  ``(1 - A_a)(1 - A_b) / n`` (the same wrong value by chance); differ with
+  the remainder.
+* copying (with copy rate ``c``): each overlapping item is copied with
+  probability ``c`` (agreeing by construction — true with the original's
+  accuracy) or produced independently with probability ``1 - c``.
+
+The posterior follows from a prior on dependence; the *direction* is
+decided by a coverage heuristic: the source with fewer claims of its own
+(relative to the overlap) is the likelier copier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.copydetect.evidence import OverlapEvidence
+from repro.core.types import SourceKey
+from repro.util.logmath import clamp, sigmoid
+
+
+@dataclass(frozen=True, slots=True)
+class CopyVerdict:
+    """Outcome of the dependence test for one source pair."""
+
+    copier: SourceKey
+    original: SourceKey
+    probability: float
+    evidence: OverlapEvidence
+
+
+class CopyDetector:
+    """Pairwise dependence testing over fused claims."""
+
+    def __init__(
+        self,
+        n: int = 10,
+        copy_rate: float = 0.8,
+        prior: float = 0.1,
+    ) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if not 0.0 < copy_rate <= 1.0:
+            raise ValueError("copy_rate must be in (0, 1]")
+        if not 0.0 < prior < 1.0:
+            raise ValueError("prior must be in (0, 1)")
+        self._n = n
+        self._copy_rate = copy_rate
+        self._prior = prior
+
+    def dependence_probability(
+        self,
+        evidence: OverlapEvidence,
+        accuracy_a: float,
+        accuracy_b: float,
+    ) -> float:
+        """p(dependent | overlap) for one pair."""
+        a = clamp(accuracy_a, 1e-6, 1.0 - 1e-6)
+        b = clamp(accuracy_b, 1e-6, 1.0 - 1e-6)
+        n = float(self._n)
+        c = self._copy_rate
+
+        # Independent-source event probabilities.
+        p_true_ind = a * b
+        p_false_ind = (1.0 - a) * (1.0 - b) / n
+        p_diff_ind = max(1.0 - p_true_ind - p_false_ind, 1e-12)
+
+        # Copier events: copied items agree (true with the original's
+        # accuracy), uncopied items behave independently.
+        p_true_dep = c * a + (1.0 - c) * p_true_ind
+        p_false_dep = c * (1.0 - a) + (1.0 - c) * p_false_ind
+        p_diff_dep = max((1.0 - c) * p_diff_ind, 1e-12)
+
+        log_ratio = (
+            evidence.shared_true * (math.log(p_true_dep) - math.log(p_true_ind))
+            + evidence.shared_false
+            * (math.log(p_false_dep) - math.log(p_false_ind))
+            + evidence.differ * (math.log(p_diff_dep) - math.log(p_diff_ind))
+        )
+        prior_log_odds = math.log(self._prior) - math.log(1.0 - self._prior)
+        return sigmoid(log_ratio + prior_log_odds)
+
+    def verdict(
+        self,
+        evidence: OverlapEvidence,
+        accuracy_a: float,
+        accuracy_b: float,
+    ) -> CopyVerdict:
+        """Dependence probability plus copy direction for one pair.
+
+        Direction heuristic: a copier contributes little beyond the shared
+        claims, so the source with the smaller unique-claim share is the
+        likelier copier; accuracy breaks ties (copiers of false content
+        are less accurate than their originals on the overlap).
+        """
+        probability = self.dependence_probability(
+            evidence, accuracy_a, accuracy_b
+        )
+        unique_share_a = evidence.only_a / (evidence.only_a + evidence.overlap)
+        unique_share_b = evidence.only_b / (evidence.only_b + evidence.overlap)
+        if unique_share_a != unique_share_b:
+            a_is_copier = unique_share_a < unique_share_b
+        else:
+            a_is_copier = accuracy_a <= accuracy_b
+        if a_is_copier:
+            return CopyVerdict(
+                copier=evidence.source_a,
+                original=evidence.source_b,
+                probability=probability,
+                evidence=evidence,
+            )
+        return CopyVerdict(
+            copier=evidence.source_b,
+            original=evidence.source_a,
+            probability=probability,
+            evidence=evidence,
+        )
+
+    def detect(
+        self,
+        evidence_list: list[OverlapEvidence],
+        accuracy: dict[SourceKey, float],
+        threshold: float = 0.5,
+    ) -> list[CopyVerdict]:
+        """Verdicts for every pair whose dependence clears ``threshold``."""
+        verdicts = []
+        for evidence in evidence_list:
+            verdict = self.verdict(
+                evidence,
+                accuracy.get(evidence.source_a, 0.5),
+                accuracy.get(evidence.source_b, 0.5),
+            )
+            if verdict.probability >= threshold:
+                verdicts.append(verdict)
+        verdicts.sort(key=lambda v: -v.probability)
+        return verdicts

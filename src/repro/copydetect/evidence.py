@@ -1,0 +1,98 @@
+"""Pairwise overlap evidence for copy detection.
+
+For two sources the informative quantities are, over the data items both
+provide a value for: how often they agree on a value the fused model deems
+*true*, how often they agree on a value deemed *false*, and how often they
+differ. Agreement on true values is expected of independent good sources;
+agreement on false values is the copying signature [8].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.core.types import DataItem, SourceKey, Value
+
+#: claims per source: source -> {item: value} (first value kept if a
+#: source provides several for one item).
+ClaimsBySource = dict[SourceKey, dict[DataItem, Value]]
+
+
+@dataclass(frozen=True, slots=True)
+class OverlapEvidence:
+    """Overlap statistics for one ordered pair of sources."""
+
+    source_a: SourceKey
+    source_b: SourceKey
+    shared_true: int
+    shared_false: int
+    differ: int
+    only_a: int
+    only_b: int
+
+    @property
+    def overlap(self) -> int:
+        return self.shared_true + self.shared_false + self.differ
+
+
+def claims_by_source(result) -> ClaimsBySource:
+    """Group a fitted result's scored claims per source.
+
+    Only claims the model believes are genuinely provided (p(C) >= 0.5)
+    participate: extraction noise should not create phantom overlap.
+    """
+    claims: ClaimsBySource = {}
+    for (source, item, value), p in result.extraction_posteriors.items():
+        if p < 0.5:
+            continue
+        claims.setdefault(source, {}).setdefault(item, value)
+    return claims
+
+
+def collect_evidence(
+    claims: ClaimsBySource,
+    is_true,
+    min_overlap: int = 3,
+) -> list[OverlapEvidence]:
+    """Overlap evidence for every source pair with enough common items.
+
+    Args:
+        claims: per-source item -> value claims.
+        is_true: callable (item, value) -> bool, the truth estimate (e.g.
+            fused posterior thresholded at 0.5).
+        min_overlap: pairs sharing fewer items are skipped (no signal).
+    """
+    if min_overlap < 1:
+        raise ValueError("min_overlap must be >= 1")
+    evidence = []
+    for source_a, source_b in combinations(sorted(claims, key=str), 2):
+        claims_a = claims[source_a]
+        claims_b = claims[source_b]
+        if len(claims_a) > len(claims_b):
+            # Normalise order: smaller claim set first (candidate copier).
+            source_a, source_b = source_b, source_a
+            claims_a, claims_b = claims_b, claims_a
+        common = claims_a.keys() & claims_b.keys()
+        if len(common) < min_overlap:
+            continue
+        shared_true = shared_false = differ = 0
+        for item in common:
+            if claims_a[item] != claims_b[item]:
+                differ += 1
+            elif is_true(item, claims_a[item]):
+                shared_true += 1
+            else:
+                shared_false += 1
+        evidence.append(
+            OverlapEvidence(
+                source_a=source_a,
+                source_b=source_b,
+                shared_true=shared_true,
+                shared_false=shared_false,
+                differ=differ,
+                only_a=len(claims_a) - len(common),
+                only_b=len(claims_b) - len(common),
+            )
+        )
+    return evidence

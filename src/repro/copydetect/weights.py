@@ -1,0 +1,34 @@
+"""Vote discounting for detected copiers.
+
+A copier's claims are not independent evidence: counting them at full
+weight lets a scraped falsehood masquerade as corroboration. Following the
+spirit of [8], each detected copier's vote weight is multiplied by
+``1 - p_copy * copy_rate`` per detected dependence (the probability that a
+given claim is *not* copied), floored so no source is silenced entirely.
+"""
+
+from __future__ import annotations
+
+from repro.copydetect.detector import CopyVerdict
+from repro.core.types import SourceKey
+
+
+def independence_weights(
+    verdicts: list[CopyVerdict],
+    copy_rate: float = 0.8,
+    floor: float = 0.05,
+) -> dict[SourceKey, float]:
+    """Per-source weights in (0, 1]; 1 for sources never flagged as copier.
+
+    When a source copies several originals, the discounts multiply.
+    """
+    if not 0.0 < copy_rate <= 1.0:
+        raise ValueError("copy_rate must be in (0, 1]")
+    if not 0.0 < floor <= 1.0:
+        raise ValueError("floor must be in (0, 1]")
+    weights: dict[SourceKey, float] = {}
+    for verdict in verdicts:
+        discount = 1.0 - verdict.probability * copy_rate
+        current = weights.get(verdict.copier, 1.0)
+        weights[verdict.copier] = max(current * discount, floor)
+    return weights

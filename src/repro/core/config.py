@@ -1,0 +1,193 @@
+"""Configuration objects for the single-layer and multi-layer models.
+
+Defaults follow Section 5.1.2 of the paper: ``A_w = 0.8``, ``R_e = 0.8``,
+``Q_e = 0.2``, prior ``alpha = 0.5``, ``n = 100`` for the single-layer model
+and ``n = 10``, ``gamma = 0.25`` for the multi-layer model, five EM
+iterations, and prior re-estimation starting from the third iteration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FalseValueModel(enum.Enum):
+    """How the probability mass over false values is distributed (Eq. 1).
+
+    ACCU spreads ``1 - A`` uniformly over the ``n`` false values; POPACCU
+    uses the empirical popularity of the observed false values [13].
+    """
+
+    ACCU = "accu"
+    POPACCU = "popaccu"
+
+
+class AbsenceScope(enum.Enum):
+    """Which extractors cast *absence* votes for a (w, d, v) coordinate.
+
+    ALL matches the paper's worked example (every extractor in the universe
+    is assumed to have processed every page); ACTIVE restricts absence votes
+    to extractors that extracted at least one triple from the same source,
+    which is the realistic semantics once extractors are modelled at the
+    fine ``<extractor, pattern, predicate, website>`` granularity.
+    """
+
+    ALL = "all"
+    ACTIVE = "active"
+
+
+@dataclass(frozen=True, slots=True)
+class ConvergenceConfig:
+    """EM loop control shared by both models."""
+
+    max_iterations: int = 5
+    tolerance: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class SingleLayerConfig:
+    """Configuration of the single-layer (knowledge fusion [11]) baseline.
+
+    Attributes:
+        n: number of false values per data item domain (|dom(d)| = n + 1).
+        default_accuracy: initial source accuracy A_s.
+        false_value_model: ACCU or POPACCU likelihood for wrong values.
+        min_source_support: a provenance participates in fusion only if it
+            provides at least this many triples; below-support provenances
+            keep their default accuracy and are excluded, which is what makes
+            coverage (Cov) fall below 1.
+        convergence: EM loop control.
+    """
+
+    n: int = 100
+    default_accuracy: float = 0.8
+    false_value_model: FalseValueModel = FalseValueModel.ACCU
+    min_source_support: int = 2
+    convergence: ConvergenceConfig = ConvergenceConfig()
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("n must be >= 1")
+        if not 0.0 < self.default_accuracy < 1.0:
+            raise ValueError("default_accuracy must be in (0, 1)")
+        if self.min_source_support < 1:
+            raise ValueError("min_source_support must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class MultiLayerConfig:
+    """Configuration of the multi-layer model (Section 3).
+
+    Attributes:
+        n: number of false values per data item domain.
+        gamma: prior probability that a source provides a random triple,
+            used when deriving Q_e from P_e and R_e (Eq. 7).
+        alpha: initial prior p(C_wdv = 1) used before re-estimation kicks in.
+        default_accuracy: initial web-source accuracy A_w.
+        default_recall: initial extractor recall R_e.
+        default_q: initial Q_e (1 - specificity).
+        absence_scope: which extractors cast absence votes (see AbsenceScope).
+        use_weighted_vcv: use the improved estimator of Section 3.3.3
+            (weight value votes by p(C|X)) instead of the MAP Chat;
+            disabling this reproduces the "p(Vd|Chat_d)" ablation of Table 6.
+        update_prior: re-estimate p(C_wdv = 1) from the previous iteration's
+            value posteriors (Section 3.3.4); disabling reproduces the
+            "Not updating alpha" ablation.
+        prior_update_start_iteration: first iteration (1-based) at which the
+            prior update is applied. The paper starts at the third
+            iteration; we default to the second — in low-redundancy
+            regimes (about one extraction per provided triple) the
+            extractor-quality loop can ratchet before the value-layer
+            correction arrives if the update starts later (see DESIGN.md).
+        prior_floor / prior_ceiling: clamp on the re-estimated prior of
+            Section 3.3.4. Eq. 26 omits the 1/n factor of Eq. 5, so an
+            extreme source accuracy saturates the prior and the posterior
+            with it; bounding the prior's log-odds contribution (default
+            +-log(3)) keeps the value-layer feedback a hint rather than an
+            override.
+        confidence_threshold: if not None, binarise extractor confidences at
+            this threshold instead of using soft votes (Section 3.5); the
+            Table 6 ablation uses phi = 0 (any positive confidence -> 1).
+        min_source_support / min_extractor_support: quality stays at the
+            default below these evidence counts; triples seen only through
+            below-support extractors are not covered (Cov < 1).
+        false_value_model: ACCU (the variant the paper reports; POPACCU is
+            implemented for the single layer only, mirroring Section 5.1.2).
+        quality_floor / quality_ceiling: clamp for estimated P/R/Q/A values,
+            keeping the log-odds votes finite.
+        convergence: EM loop control.
+    """
+
+    n: int = 10
+    gamma: float = 0.25
+    alpha: float = 0.5
+    default_accuracy: float = 0.8
+    default_recall: float = 0.8
+    default_q: float = 0.2
+    absence_scope: AbsenceScope = AbsenceScope.ALL
+    use_weighted_vcv: bool = True
+    update_prior: bool = True
+    prior_update_start_iteration: int = 2
+    prior_floor: float = 0.25
+    prior_ceiling: float = 0.75
+    confidence_threshold: float | None = None
+    min_source_support: int = 1
+    min_extractor_support: int = 1
+    false_value_model: FalseValueModel = FalseValueModel.ACCU
+    quality_floor: float = 1e-4
+    quality_ceiling: float = 1.0 - 1e-4
+    #: step size of the extractor-quality M step: 1.0 applies Eq. 29-33
+    #: directly; smaller values blend toward the previous estimate
+    #: (P <- (1-d) P_old + d P_hat). Early iterations score extraction
+    #: correctness with default qualities, so an undamped first M step can
+    #: lock in a biased precision estimate; damping keeps the EM loop from
+    #: ratcheting on its own transient.
+    quality_damping: float = 1.0
+    convergence: ConvergenceConfig = ConvergenceConfig()
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("n must be >= 1")
+        if not 0.0 < self.gamma < 1.0:
+            raise ValueError("gamma must be in (0, 1)")
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        for name in ("default_accuracy", "default_recall", "default_q"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise ValueError(f"{name} must be in (0, 1), got {value}")
+        if self.prior_update_start_iteration < 1:
+            raise ValueError("prior_update_start_iteration must be >= 1")
+        if not 0.0 < self.prior_floor <= self.prior_ceiling < 1.0:
+            raise ValueError("need 0 < prior_floor <= prior_ceiling < 1")
+        if self.confidence_threshold is not None and not (
+            0.0 <= self.confidence_threshold < 1.0
+        ):
+            raise ValueError("confidence_threshold must be in [0, 1)")
+        if self.min_source_support < 1 or self.min_extractor_support < 1:
+            raise ValueError("support thresholds must be >= 1")
+        if not 0.0 < self.quality_floor < self.quality_ceiling < 1.0:
+            raise ValueError("need 0 < quality_floor < quality_ceiling < 1")
+        if not 0.0 < self.quality_damping <= 1.0:
+            raise ValueError("quality_damping must be in (0, 1]")
+
+
+@dataclass(frozen=True, slots=True)
+class GranularityConfig:
+    """SPLITANDMERGE bounds (Section 4): desired source size in [m, M]."""
+
+    min_size: int = 5
+    max_size: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.min_size < 1:
+            raise ValueError("min_size must be >= 1")
+        if self.max_size < self.min_size:
+            raise ValueError("max_size must be >= min_size")

@@ -1,0 +1,177 @@
+"""Knowledge-Based Trust estimation: the end-to-end public facade.
+
+``KBTEstimator`` wires the full pipeline of the paper together: optional
+SPLITANDMERGE granularity selection (Section 4), the multi-layer model
+(Section 3), and the reporting rule of Section 5.4 (a source receives a KBT
+score only when the model believes at least ``min_triples`` triples were
+correctly extracted from it). Scores aggregate bottom-up from model sources
+to webpages and websites.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.config import GranularityConfig, MultiLayerConfig
+from repro.core.granularity import SplitAndMerge
+from repro.core.multi_layer import MultiLayerModel
+from repro.core.observation import ObservationMatrix
+from repro.core.quality import ExtractorQuality
+from repro.core.results import MultiLayerResult
+from repro.core.types import ExtractionRecord, ExtractorKey, SourceKey
+
+
+@dataclass(frozen=True, slots=True)
+class KBTScore:
+    """A trustworthiness estimate for one source aggregate.
+
+    ``score`` is the accuracy A (probability a provided fact is correct);
+    ``support`` is the expected number of correctly extracted triples that
+    the estimate rests on.
+    """
+
+    key: object
+    score: float
+    support: float
+
+
+class KBTReport:
+    """KBT scores at several aggregation levels plus the fitted model."""
+
+    def __init__(
+        self,
+        result: MultiLayerResult,
+        min_triples: float,
+    ) -> None:
+        self.result = result
+        self.min_triples = min_triples
+        self._support = result.expected_triples_by_source()
+
+    def source_scores(self) -> dict[SourceKey, KBTScore]:
+        """KBT per model source (whatever granularity the model ran at)."""
+        scores = {}
+        for source, accuracy in self.result.source_accuracy.items():
+            support = self._support.get(source, 0.0)
+            if support < self.min_triples:
+                continue
+            scores[source] = KBTScore(source, accuracy, support)
+        return scores
+
+    def _aggregate(self, group_of) -> dict[object, KBTScore]:
+        """Support-weighted average of source accuracies per group."""
+        numer: dict[object, float] = {}
+        denom: dict[object, float] = {}
+        for source, accuracy in self.result.source_accuracy.items():
+            group = group_of(source)
+            if group is None:
+                continue
+            support = self._support.get(source, 0.0)
+            if support <= 0.0:
+                continue
+            numer[group] = numer.get(group, 0.0) + support * accuracy
+            denom[group] = denom.get(group, 0.0) + support
+        scores = {}
+        for group, weight in denom.items():
+            if weight < self.min_triples:
+                continue
+            scores[group] = KBTScore(group, numer[group] / weight, weight)
+        return scores
+
+    def webpage_scores(self) -> dict[tuple[str, str], KBTScore]:
+        """KBT per (website, webpage), from sources carrying a webpage."""
+        def group_of(source: SourceKey):
+            if source.level >= 3:
+                return (source.features[0], source.features[2])
+            return None
+
+        return self._aggregate(group_of)
+
+    def website_scores(self) -> dict[str, KBTScore]:
+        """KBT per website (the Figure 7 / Figure 10 unit)."""
+        return self._aggregate(lambda source: source.website)
+
+
+class KBTEstimator:
+    """The public entry point: records in, KBT scores out.
+
+    Args:
+        config: multi-layer model configuration (paper defaults if omitted).
+        granularity: when given, SPLITANDMERGE runs on both the source and
+            the extractor hierarchies before inference (MULTILAYERSM).
+        min_triples: reporting threshold — the paper publishes KBT only for
+            sources with at least 5 correctly-extracted triples.
+        seed: seed for the (random) uniform splitting of oversized keys.
+    """
+
+    def __init__(
+        self,
+        config: MultiLayerConfig | None = None,
+        granularity: GranularityConfig | None = None,
+        min_triples: float = 5.0,
+        seed: int = 0,
+    ) -> None:
+        self._config = config or MultiLayerConfig()
+        self._granularity = granularity
+        self._min_triples = min_triples
+        self._seed = seed
+
+    def estimate(
+        self,
+        data: ObservationMatrix | Iterable[ExtractionRecord],
+        initial_source_accuracy: dict[SourceKey, float] | None = None,
+        initial_extractor_quality: dict[ExtractorKey, ExtractorQuality]
+        | None = None,
+    ) -> KBTReport:
+        """Run the full KBT pipeline and return a report.
+
+        When granularity selection is enabled and smart initialisation is
+        provided, initial accuracies transfer to relabelled keys by applying
+        the same plan to the initialisation mapping (unsplit keys only).
+        """
+        if isinstance(data, ObservationMatrix):
+            observations = data
+        else:
+            observations = ObservationMatrix.from_records(data)
+
+        if self._granularity is not None:
+            splitter = SplitAndMerge(self._granularity, seed=self._seed)
+            source_plan = splitter.plan_sources(observations)
+            extractor_plan = splitter.plan_extractors(observations)
+            observations = observations.relabel(
+                source_map=source_plan, extractor_map=extractor_plan
+            )
+            if initial_source_accuracy:
+                initial_source_accuracy = _transfer_initialisation(
+                    initial_source_accuracy, observations.sources()
+                )
+            if initial_extractor_quality:
+                initial_extractor_quality = _transfer_initialisation(
+                    initial_extractor_quality, observations.extractors()
+                )
+
+        model = MultiLayerModel(self._config)
+        result = model.fit(
+            observations,
+            initial_source_accuracy=initial_source_accuracy,
+            initial_extractor_quality=initial_extractor_quality,
+        )
+        return KBTReport(result, self._min_triples)
+
+
+def _transfer_initialisation(initial: dict, final_keys: Iterable) -> dict:
+    """Carry initial qualities over to post-SPLITANDMERGE keys.
+
+    A final key inherits the initial value of the closest original key on
+    its ancestry path: its unsplit self, else its parent chain. Merged
+    parents inherit only if they were initialised directly.
+    """
+    transferred = {}
+    for key in final_keys:
+        probe = key
+        while probe is not None:
+            if probe in initial:
+                transferred[key] = initial[probe]
+                break
+            probe = probe.parent()
+    return transferred

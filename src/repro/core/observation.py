@@ -1,0 +1,206 @@
+"""Sparse observation matrix X = {X_ewdv} with the indexes inference needs.
+
+The matrix is the "data cube" of Figure 1(b): extractor x source x
+(data item, value). It is stored sparsely as a mapping from (source, item,
+value) coordinates to the extractors (and confidences) that extracted that
+triple from that source, plus secondary indexes:
+
+* by data item (for the truth-finding V step),
+* by source (for source-accuracy updates and granularity decisions),
+* by extractor (for extractor-quality updates),
+* active extractors per source (for the ACTIVE absence-vote scope).
+
+Duplicate records for the same (e, w, d, v) keep the maximum confidence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.core.types import (
+    DataItem,
+    ExtractionRecord,
+    ExtractorKey,
+    SourceKey,
+    Value,
+)
+
+#: A (source, item, value) coordinate of the C layer.
+Coord = tuple[SourceKey, DataItem, Value]
+
+
+class ObservationMatrix:
+    """Immutable-after-build sparse view of all extractions.
+
+    Build with :meth:`from_records`; the constructor is private API.
+    """
+
+    def __init__(self, records: Iterable[ExtractionRecord]) -> None:
+        # coordinate -> {extractor: confidence}
+        self._cells: dict[Coord, dict[ExtractorKey, float]] = {}
+        # item -> value -> set of sources claiming (item, value)
+        self._item_index: dict[DataItem, dict[Value, set[SourceKey]]] = {}
+        # source -> list of (item, value) it was seen with
+        self._source_index: dict[SourceKey, list[tuple[DataItem, Value]]] = {}
+        # extractor -> {coordinate: confidence}
+        self._extractor_index: dict[ExtractorKey, dict[Coord, float]] = {}
+        # source -> extractors with >= 1 extraction from it
+        self._active_extractors: dict[SourceKey, set[ExtractorKey]] = {}
+        self._num_records = 0
+        for record in records:
+            self._add(record)
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[ExtractionRecord]
+    ) -> "ObservationMatrix":
+        """Build the matrix (and all indexes) from extraction records."""
+        return cls(records)
+
+    def _add(self, record: ExtractionRecord) -> None:
+        coord: Coord = (record.source, record.item, record.value)
+        cell = self._cells.get(coord)
+        if cell is None:
+            cell = {}
+            self._cells[coord] = cell
+            values = self._item_index.setdefault(record.item, {})
+            values.setdefault(record.value, set()).add(record.source)
+            self._source_index.setdefault(record.source, []).append(
+                (record.item, record.value)
+            )
+        previous = cell.get(record.extractor, 0.0)
+        if record.confidence > previous:
+            cell[record.extractor] = record.confidence
+            self._extractor_index.setdefault(record.extractor, {})[coord] = (
+                record.confidence
+            )
+        self._active_extractors.setdefault(record.source, set()).add(
+            record.extractor
+        )
+        self._num_records += 1
+
+    # ------------------------------------------------------------------
+    # Size and universe accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_records(self) -> int:
+        """Number of extraction records folded into the matrix."""
+        return self._num_records
+
+    @property
+    def num_cells(self) -> int:
+        """Number of distinct (source, item, value) coordinates."""
+        return len(self._cells)
+
+    def sources(self) -> Iterator[SourceKey]:
+        return iter(self._source_index)
+
+    def extractors(self) -> Iterator[ExtractorKey]:
+        return iter(self._extractor_index)
+
+    def items(self) -> Iterator[DataItem]:
+        return iter(self._item_index)
+
+    @property
+    def num_sources(self) -> int:
+        return len(self._source_index)
+
+    @property
+    def num_extractors(self) -> int:
+        return len(self._extractor_index)
+
+    @property
+    def num_items(self) -> int:
+        return len(self._item_index)
+
+    def triples(self) -> Iterator[tuple[DataItem, Value]]:
+        """Distinct (data item, value) pairs observed anywhere."""
+        for item, values in self._item_index.items():
+            for value in values:
+                yield (item, value)
+
+    @property
+    def num_triples(self) -> int:
+        return sum(len(values) for values in self._item_index.values())
+
+    # ------------------------------------------------------------------
+    # Cell access
+    # ------------------------------------------------------------------
+    def cells(self) -> Iterator[tuple[Coord, dict[ExtractorKey, float]]]:
+        """Iterate (coordinate, {extractor: confidence}) pairs."""
+        return iter(self._cells.items())
+
+    def cell(self, coord: Coord) -> dict[ExtractorKey, float]:
+        """The extractions of one coordinate ({} when never extracted)."""
+        return self._cells.get(coord, {})
+
+    def values_for_item(self, item: DataItem) -> dict[Value, set[SourceKey]]:
+        """All observed values for an item with the sources claiming each."""
+        return self._item_index.get(item, {})
+
+    def source_claims(
+        self, source: SourceKey
+    ) -> list[tuple[DataItem, Value]]:
+        """The (item, value) pairs that were extracted from ``source``."""
+        return self._source_index.get(source, [])
+
+    def extractor_cells(
+        self, extractor: ExtractorKey
+    ) -> dict[Coord, float]:
+        """All coordinates touched by ``extractor`` with confidences."""
+        return self._extractor_index.get(extractor, {})
+
+    def active_extractors(self, source: SourceKey) -> set[ExtractorKey]:
+        """Extractors that extracted at least one triple from ``source``."""
+        return self._active_extractors.get(source, set())
+
+    # ------------------------------------------------------------------
+    # Statistics used by granularity selection and Figure 5
+    # ------------------------------------------------------------------
+    def source_sizes(self) -> dict[SourceKey, int]:
+        """Number of distinct (item, value) triples per source."""
+        return {
+            source: len(claims) for source, claims in self._source_index.items()
+        }
+
+    def extractor_sizes(self) -> dict[ExtractorKey, int]:
+        """Number of distinct coordinates per extractor."""
+        return {
+            extractor: len(cells)
+            for extractor, cells in self._extractor_index.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Relabeling (granularity changes)
+    # ------------------------------------------------------------------
+    def relabel(
+        self,
+        source_map: Callable[[SourceKey, DataItem, Value], SourceKey] | None = None,
+        extractor_map: Callable[[ExtractorKey, DataItem, Value], ExtractorKey]
+        | None = None,
+    ) -> "ObservationMatrix":
+        """Rebuild the matrix under new source / extractor identities.
+
+        The maps receive the coordinate's item and value so that splitting
+        can route triples of one oversized key into uniform buckets.
+        """
+        def iter_relabelled() -> Iterator[ExtractionRecord]:
+            for (source, item, value), cell in self._cells.items():
+                new_source = (
+                    source_map(source, item, value) if source_map else source
+                )
+                for extractor, confidence in cell.items():
+                    new_extractor = (
+                        extractor_map(extractor, item, value)
+                        if extractor_map
+                        else extractor
+                    )
+                    yield ExtractionRecord(
+                        extractor=new_extractor,
+                        source=new_source,
+                        item=item,
+                        value=value,
+                        confidence=confidence,
+                    )
+
+        return ObservationMatrix(iter_relabelled())

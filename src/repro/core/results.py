@@ -1,0 +1,156 @@
+"""Result containers returned by the fusion models.
+
+Both models expose the same triple-level API (``triple_probability``,
+``most_probable_value``, ``coverage``) so the evaluation harness can score
+them uniformly; the multi-layer result additionally carries the extraction
+correctness posteriors and the separated source/extractor qualities that
+constitute Knowledge-Based Trust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.quality import ExtractorQuality
+from repro.core.types import DataItem, ExtractorKey, SourceKey, Value
+
+#: A (source, item, value) coordinate of the C layer.
+Coord = tuple[SourceKey, DataItem, Value]
+
+#: In the single-layer model a "source" is a provenance: any hashable key
+#: combining extractor and web-source identities (Section 5.1.2 uses the
+#: 4-tuple (extractor, website, predicate, pattern)).
+ProvenanceKey = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class IterationSnapshot:
+    """Convergence trace entry for one EM iteration."""
+
+    iteration: int
+    max_accuracy_delta: float
+    max_extractor_delta: float = 0.0
+
+    @property
+    def max_delta(self) -> float:
+        return max(self.max_accuracy_delta, self.max_extractor_delta)
+
+
+class _TripleView:
+    """Shared read API over per-item value posteriors."""
+
+    def __init__(
+        self,
+        value_posteriors: dict[DataItem, dict[Value, float]],
+        num_triples_total: int,
+    ) -> None:
+        self._value_posteriors = value_posteriors
+        self._num_triples_total = num_triples_total
+
+    @property
+    def value_posteriors(self) -> dict[DataItem, dict[Value, float]]:
+        """p(V_d = v | X) for every covered item and observed value."""
+        return self._value_posteriors
+
+    def triple_probability(self, item: DataItem, value: Value) -> float | None:
+        """p(V_d = v | X), or None when the triple is not covered."""
+        values = self._value_posteriors.get(item)
+        if values is None:
+            return None
+        return values.get(value)
+
+    def most_probable_value(self, item: DataItem) -> Value | None:
+        """argmax_v p(V_d = v | X), or None when the item is not covered."""
+        values = self._value_posteriors.get(item)
+        if not values:
+            return None
+        return max(values.items(), key=lambda kv: kv[1])[0]
+
+    def covered_triples(self) -> set[tuple[DataItem, Value]]:
+        """The (item, value) pairs for which a probability was computed."""
+        return {
+            (item, value)
+            for item, values in self._value_posteriors.items()
+            for value in values
+        }
+
+    @property
+    def coverage(self) -> float:
+        """Cov: fraction of observed triples with a computed probability."""
+        if self._num_triples_total == 0:
+            return 0.0
+        covered = sum(len(v) for v in self._value_posteriors.values())
+        return covered / self._num_triples_total
+
+
+class SingleLayerResult(_TripleView):
+    """Output of the single-layer knowledge-fusion baseline."""
+
+    def __init__(
+        self,
+        value_posteriors: dict[DataItem, dict[Value, float]],
+        provenance_accuracy: dict[ProvenanceKey, float],
+        participating: set[ProvenanceKey],
+        num_triples_total: int,
+        history: list[IterationSnapshot],
+    ) -> None:
+        super().__init__(value_posteriors, num_triples_total)
+        self.provenance_accuracy = provenance_accuracy
+        self.participating = participating
+        self.history = history
+
+    @property
+    def iterations_run(self) -> int:
+        return len(self.history)
+
+
+class MultiLayerResult(_TripleView):
+    """Output of the multi-layer model: the KBT estimate lives in
+    ``source_accuracy`` (A_w per web source, Eq. 28)."""
+
+    def __init__(
+        self,
+        value_posteriors: dict[DataItem, dict[Value, float]],
+        extraction_posteriors: dict[Coord, float],
+        source_accuracy: dict[SourceKey, float],
+        extractor_quality: dict[ExtractorKey, ExtractorQuality],
+        estimable_sources: set[SourceKey],
+        estimable_extractors: set[ExtractorKey],
+        num_triples_total: int,
+        history: list[IterationSnapshot],
+        priors: dict[Coord, float] | None = None,
+    ) -> None:
+        super().__init__(value_posteriors, num_triples_total)
+        self.extraction_posteriors = extraction_posteriors
+        self.source_accuracy = source_accuracy
+        self.extractor_quality = extractor_quality
+        self.estimable_sources = estimable_sources
+        self.estimable_extractors = estimable_extractors
+        self.history = history
+        #: final re-estimated priors p(C_wdv = 1) (Eq. 26); empty when the
+        #: prior update is disabled or never reached its start iteration.
+        self.priors = priors or {}
+
+    @property
+    def iterations_run(self) -> int:
+        return len(self.history)
+
+    def extraction_probability(
+        self, source: SourceKey, item: DataItem, value: Value
+    ) -> float | None:
+        """p(C_wdv = 1 | X), or None when the coordinate was not scored."""
+        return self.extraction_posteriors.get((source, item, value))
+
+    def expected_triples_by_source(self) -> dict[SourceKey, float]:
+        """Expected number of correctly-extracted triples per source.
+
+        Used by the KBT facade to apply the paper's "at least 5 extracted
+        triples" reporting rule (Section 5.4).
+        """
+        totals: dict[SourceKey, float] = {}
+        for (source, _item, _value), p_correct in (
+            self.extraction_posteriors.items()
+        ):
+            totals[source] = totals.get(source, 0.0) + p_correct
+        return totals

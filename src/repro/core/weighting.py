@@ -1,0 +1,184 @@
+"""Triple weighting extensions from the paper's discussion (Section 5.4.2).
+
+The paper identifies failure modes of raw KBT and sketches remedies, which
+we implement as opt-in re-weighting of the KBT average (Eq. 28):
+
+1. **Triviality**: predicates with a very low variety of objects (e.g. a
+   Hindi-movie site where every triple says language=Hindi) carry little
+   information. We weight each predicate by the normalised entropy of its
+   object-value distribution, so constant predicates approach weight 0.
+2. **IDF**: frequent (predicate, value) combinations are less informative;
+   each triple is weighted by its inverse document frequency within its
+   predicate, normalised to (0, 1].
+3. **Topic relevance**: triples off the website's main topic should not
+   drive its score. Given a ``topic_of_predicate`` function, the dominant
+   topic of each website is found by claim mass, and off-topic triples are
+   down-weighted.
+
+``reweighted_source_accuracy`` recomputes the KBT average with the product
+of the selected weights, leaving the fitted posteriors untouched.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+from repro.core.observation import ObservationMatrix
+from repro.core.results import Coord, MultiLayerResult
+from repro.core.types import SourceKey
+from repro.util.logmath import clamp
+
+
+def predicate_variety_weights(
+    observations: ObservationMatrix,
+) -> dict[str, float]:
+    """Normalised object-entropy per predicate; low variety -> low weight.
+
+    A predicate whose claims all share one object value has weight 0; a
+    predicate with a uniform spread over many values approaches 1.
+    """
+    counts: dict[str, dict[object, int]] = {}
+    for (_source, item, value), _cell in observations.cells():
+        value_counts = counts.setdefault(item.predicate, {})
+        value_counts[value] = value_counts.get(value, 0) + 1
+    weights = {}
+    for predicate, value_counts in counts.items():
+        total = sum(value_counts.values())
+        distinct = len(value_counts)
+        if distinct <= 1 or total == 0:
+            weights[predicate] = 0.0
+            continue
+        entropy = 0.0
+        for count in value_counts.values():
+            p = count / total
+            entropy -= p * math.log(p)
+        weights[predicate] = entropy / math.log(distinct)
+    return weights
+
+
+def idf_weights(observations: ObservationMatrix) -> dict[Coord, float]:
+    """IDF of each triple's value within its predicate, scaled into (0, 1].
+
+    df counts how many sources provide the (predicate, value) combination;
+    idf = log(1 + N_p / df) with N_p the predicate's claim count. The scale
+    factor is the idf of a value provided exactly once (log(1 + N_p)), so a
+    value every source agrees on approaches log(2)/log(1 + N_p) -> 0 for
+    large predicates while a unique value gets weight 1.
+    """
+    df: dict[tuple[str, object], int] = {}
+    totals: dict[str, int] = {}
+    for (_source, item, value), _cell in observations.cells():
+        key = (item.predicate, value)
+        df[key] = df.get(key, 0) + 1
+        totals[item.predicate] = totals.get(item.predicate, 0) + 1
+
+    weights: dict[Coord, float] = {}
+    for coord, _cell in observations.cells():
+        _source, item, value = coord
+        total = totals[item.predicate]
+        idf = math.log(1.0 + total / df[(item.predicate, value)])
+        peak = math.log(1.0 + total)
+        weights[coord] = idf / peak if peak > 0 else 1.0
+    return weights
+
+
+def topic_relevance_weights(
+    observations: ObservationMatrix,
+    topic_of_predicate: Callable[[str], str],
+    off_topic_weight: float = 0.0,
+) -> dict[Coord, float]:
+    """Down-weight triples off their website's dominant topic.
+
+    The dominant topic of a website is the topic with the largest claim
+    count among its triples; triples from other topics get
+    ``off_topic_weight``.
+    """
+    if not 0.0 <= off_topic_weight <= 1.0:
+        raise ValueError("off_topic_weight must be in [0, 1]")
+    topic_mass: dict[str, dict[str, int]] = {}
+    for (source, item, _value), _cell in observations.cells():
+        topics = topic_mass.setdefault(source.website, {})
+        topic = topic_of_predicate(item.predicate)
+        topics[topic] = topics.get(topic, 0) + 1
+    dominant = {
+        website: max(topics.items(), key=lambda kv: kv[1])[0]
+        for website, topics in topic_mass.items()
+    }
+    weights: dict[Coord, float] = {}
+    for coord, _cell in observations.cells():
+        source, item, _value = coord
+        topic = topic_of_predicate(item.predicate)
+        on_topic = topic == dominant[source.website]
+        weights[coord] = 1.0 if on_topic else off_topic_weight
+    return weights
+
+
+def combine_weights(*weight_maps: dict[Coord, float]) -> dict[Coord, float]:
+    """Multiply weight maps coordinate-wise (missing entries default to 1)."""
+    combined: dict[Coord, float] = {}
+    for weight_map in weight_maps:
+        for coord, weight in weight_map.items():
+            combined[coord] = combined.get(coord, 1.0) * weight
+    return combined
+
+
+def weighted_support(
+    result: MultiLayerResult,
+    triple_weights: dict[Coord, float] | None = None,
+    predicate_weights: dict[str, float] | None = None,
+) -> dict[SourceKey, float]:
+    """Expected *informative* triples per source under the given weights.
+
+    This is the weighted analogue of
+    :meth:`MultiLayerResult.expected_triples_by_source` and is what website
+    aggregation should use: a source keyed to a trivial predicate keeps its
+    per-source accuracy (the weights cancel within a homogeneous source)
+    but loses its *mass*, so it no longer props up its website's KBT.
+    """
+    support: dict[SourceKey, float] = {}
+    for coord, p_correct in result.extraction_posteriors.items():
+        source, item, _value = coord
+        weight = 1.0
+        if triple_weights is not None:
+            weight *= triple_weights.get(coord, 1.0)
+        if predicate_weights is not None:
+            weight *= predicate_weights.get(item.predicate, 1.0)
+        support[source] = support.get(source, 0.0) + weight * p_correct
+    return support
+
+
+def reweighted_source_accuracy(
+    result: MultiLayerResult,
+    triple_weights: dict[Coord, float] | None = None,
+    predicate_weights: dict[str, float] | None = None,
+) -> dict[SourceKey, float]:
+    """Recompute the KBT average (Eq. 28) under triple/predicate weights.
+
+    Sources whose entire weighted evidence vanishes keep their fitted
+    accuracy (there is nothing informative to replace it with).
+    """
+    numer: dict[SourceKey, float] = {}
+    denom: dict[SourceKey, float] = {}
+    for coord, p_correct in result.extraction_posteriors.items():
+        source, item, value = coord
+        weight = 1.0
+        if triple_weights is not None:
+            weight *= triple_weights.get(coord, 1.0)
+        if predicate_weights is not None:
+            weight *= predicate_weights.get(item.predicate, 1.0)
+        if weight <= 0.0:
+            continue
+        p_true = result.triple_probability(item, value)
+        if p_true is None:
+            continue
+        numer[source] = numer.get(source, 0.0) + weight * p_correct * p_true
+        denom[source] = denom.get(source, 0.0) + weight * p_correct
+
+    accuracy = dict(result.source_accuracy)
+    for source, weight_total in denom.items():
+        if weight_total > 0.0:
+            accuracy[source] = clamp(
+                numer[source] / weight_total, 1e-4, 1.0 - 1e-4
+            )
+    return accuracy

@@ -1,0 +1,27 @@
+"""The paper's experimental datasets.
+
+* :mod:`repro.datasets.motivating` — the Obama-nationality worked example
+  (Tables 2-4, Examples 2.1 / 3.1-3.3).
+* :mod:`repro.datasets.synthetic` — the Section 5.2 synthetic generator
+  (known ground truth for SqV / SqC / SqA).
+* :mod:`repro.datasets.kv` — the Knowledge-Vault-scale synthetic corpus
+  used for the Table 5-7 / Figure 5-10 experiments.
+"""
+
+from repro.datasets.motivating import (
+    MOTIVATING_EXTRACTOR_QUALITY,
+    motivating_example,
+)
+from repro.datasets.synthetic import SyntheticConfig, SyntheticData, generate
+from repro.datasets.kv import KVConfig, KVDataset, generate_kv
+
+__all__ = [
+    "KVConfig",
+    "KVDataset",
+    "MOTIVATING_EXTRACTOR_QUALITY",
+    "SyntheticConfig",
+    "SyntheticData",
+    "generate",
+    "generate_kv",
+    "motivating_example",
+]

@@ -1,0 +1,124 @@
+"""The paper's motivating example: Obama's nationality (Tables 2-4).
+
+Eight webpages W1-W8 and five extractors E1-E5 of varying quality disagree
+about the data item (Barack Obama, nationality). The module reproduces
+Table 2 (who extracted what), the "Value" column (what each page really
+provides), and Table 3 (the extractor qualities assumed in Examples
+3.1-3.3), and exposes them as plain extraction records so the worked
+examples can be replayed through the real inference code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.quality import ExtractorQuality
+from repro.core.types import (
+    DataItem,
+    ExtractionRecord,
+    ExtractorKey,
+    SourceKey,
+    Value,
+)
+
+#: The data item of the example.
+OBAMA_NATIONALITY = DataItem("Barack Obama", "nationality")
+
+USA = "USA"
+KENYA = "Kenya"
+N_AMERICA = "N.Amer."
+
+#: Table 2, column "Value": the nationality each page truly provides
+#: (None for W7 / W8, which stay silent).
+TRUE_PAGE_VALUES: dict[str, Value | None] = {
+    "W1": USA,
+    "W2": USA,
+    "W3": USA,
+    "W4": USA,
+    "W5": KENYA,
+    "W6": KENYA,
+    "W7": None,
+    "W8": None,
+}
+
+#: Table 2, columns E1-E5: what each extractor extracted from each page.
+#: E1 extracts every provided triple correctly; E2 misses half but is always
+#: right; E3 extracts everything provided plus a false positive on W7;
+#: E4 and E5 are poor (Example 2.1).
+EXTRACTIONS: dict[str, dict[str, Value]] = {
+    "E1": {"W1": USA, "W2": USA, "W3": USA, "W4": USA, "W5": KENYA,
+           "W6": KENYA},
+    "E2": {"W1": USA, "W2": USA, "W5": KENYA},
+    "E3": {"W1": USA, "W2": USA, "W3": USA, "W4": USA, "W5": KENYA,
+           "W6": KENYA, "W7": KENYA},
+    "E4": {"W1": USA, "W4": KENYA, "W5": KENYA, "W6": USA},
+    "E5": {"W1": KENYA, "W2": N_AMERICA, "W3": N_AMERICA, "W5": KENYA,
+           "W7": KENYA, "W8": KENYA},
+}
+
+#: Table 3: extractor qualities assumed in the worked examples
+#: (gamma = 0.25 when deriving Q from P and R; the paper reports the
+#: rounded values below and we keep them exactly so the vote counts match).
+MOTIVATING_EXTRACTOR_QUALITY: dict[str, ExtractorQuality] = {
+    "E1": ExtractorQuality(precision=0.99, recall=0.99, q=0.01),
+    "E2": ExtractorQuality(precision=0.99, recall=0.50, q=0.01),
+    "E3": ExtractorQuality(precision=0.85, recall=0.99, q=0.06),
+    "E4": ExtractorQuality(precision=0.33, recall=0.33, q=0.22),
+    "E5": ExtractorQuality(precision=0.25, recall=0.17, q=0.17),
+}
+
+#: The true value of the data item in the example's world.
+TRUE_VALUE = USA
+
+
+def source_key(page: str) -> SourceKey:
+    """The SourceKey used for page ``Wi`` (webpage granularity)."""
+    return SourceKey(("example.org", "nationality", page))
+
+
+def extractor_key(extractor: str) -> ExtractorKey:
+    """The ExtractorKey used for extractor ``Ei`` (system granularity)."""
+    return ExtractorKey((extractor,))
+
+
+@dataclass(frozen=True)
+class MotivatingExample:
+    """The example as records plus every ground-truth annotation."""
+
+    records: list[ExtractionRecord]
+    item: DataItem = OBAMA_NATIONALITY
+    true_value: Value = TRUE_VALUE
+    #: page name -> value the page truly provides (None: page is silent).
+    page_values: dict[str, Value | None] = field(
+        default_factory=lambda: dict(TRUE_PAGE_VALUES)
+    )
+    #: extractor name -> Table 3 quality.
+    extractor_quality: dict[str, ExtractorQuality] = field(
+        default_factory=lambda: dict(MOTIVATING_EXTRACTOR_QUALITY)
+    )
+
+    def quality_by_key(self) -> dict[ExtractorKey, ExtractorQuality]:
+        """Table 3 qualities keyed by the records' extractor keys."""
+        return {
+            extractor_key(name): quality
+            for name, quality in self.extractor_quality.items()
+        }
+
+    def true_provided(self, page: str, value: Value) -> bool:
+        """Ground truth of C_wdv: does ``page`` really provide ``value``?"""
+        return self.page_values[page] == value
+
+
+def motivating_example() -> MotivatingExample:
+    """Build the Table 2 observation records."""
+    records = [
+        ExtractionRecord(
+            extractor=extractor_key(extractor),
+            source=source_key(page),
+            item=OBAMA_NATIONALITY,
+            value=value,
+        )
+        for extractor, pages in EXTRACTIONS.items()
+        for page, value in pages.items()
+    ]
+    return MotivatingExample(records=records)

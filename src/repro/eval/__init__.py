@@ -1,0 +1,40 @@
+"""Evaluation metrics of Section 5.1.1 and reporting helpers.
+
+* :mod:`repro.eval.metrics` — SqV / SqC / SqA square losses and coverage;
+* :mod:`repro.eval.calibration` — the paper's bucket scheme, WDev, and
+  calibration curves (Figure 8);
+* :mod:`repro.eval.pr` — precision-recall curves and AUC-PR (Figure 9);
+* :mod:`repro.eval.report` — method-comparison table assembly.
+"""
+
+from repro.eval.calibration import (
+    CalibrationPoint,
+    calibration_curve,
+    paper_buckets,
+    weighted_deviation,
+)
+from repro.eval.metrics import (
+    coverage,
+    sq_accuracy_loss,
+    sq_extraction_loss,
+    sq_value_loss,
+    triple_predictions,
+)
+from repro.eval.pr import auc_pr, pr_curve
+from repro.eval.report import MethodScores, method_table
+
+__all__ = [
+    "CalibrationPoint",
+    "MethodScores",
+    "auc_pr",
+    "calibration_curve",
+    "coverage",
+    "method_table",
+    "paper_buckets",
+    "pr_curve",
+    "sq_accuracy_loss",
+    "sq_extraction_loss",
+    "sq_value_loss",
+    "triple_predictions",
+    "weighted_deviation",
+]

@@ -1,0 +1,105 @@
+"""Calibration analysis: the paper's bucket scheme, WDev, and Figure 8.
+
+Triples are bucketed by predicted probability with finer granularity near
+the extremes where most predictions land (Section 5.1.1): [0, 0.01), ...,
+[0.04, 0.05), [0.05, 0.1), ..., [0.9, 0.95), [0.95, 0.96), ..., [0.99, 1),
+and [1, 1]. Each bucket's *real* probability is the gold-standard accuracy
+of its triples; **WDev** is the square loss between predicted and real
+probabilities weighted by bucket population, and the (predicted, real)
+pairs per bucket are the calibration curve of Figure 8.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.eval.metrics import TripleKey
+
+
+def paper_buckets() -> list[tuple[float, float]]:
+    """The Section 5.1.1 bucket edges as [low, high) pairs (+ [1, 1])."""
+    edges: list[tuple[float, float]] = []
+    for i in range(5):  # [0, 0.01) ... [0.04, 0.05)
+        edges.append((i / 100.0, (i + 1) / 100.0))
+    for i in range(18):  # [0.05, 0.1) ... [0.9, 0.95)
+        edges.append((0.05 + i * 0.05, 0.05 + (i + 1) * 0.05))
+    for i in range(5):  # [0.95, 0.96) ... [0.99, 1)
+        edges.append((0.95 + i / 100.0, 0.95 + (i + 1) / 100.0))
+    edges.append((1.0, 1.0))  # the exact-1 bucket
+    return edges
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationPoint:
+    """One bucket of the calibration curve."""
+
+    low: float
+    high: float
+    mean_predicted: float
+    real_probability: float
+    count: int
+
+
+def _bucket_index(
+    probability: float, buckets: list[tuple[float, float]]
+) -> int:
+    """Index of the bucket holding ``probability`` (last bucket is [1, 1])."""
+    if probability >= 1.0:
+        return len(buckets) - 1
+    for index, (low, high) in enumerate(buckets[:-1]):
+        if low <= probability < high:
+            return index
+    return len(buckets) - 2  # numerical edge: just below 1.0
+
+
+def calibration_curve(
+    predictions: Mapping[TripleKey, float],
+    labels: Mapping[TripleKey, bool],
+    buckets: list[tuple[float, float]] | None = None,
+) -> list[CalibrationPoint]:
+    """Bucketed (mean predicted, real) pairs over labelled predictions."""
+    if buckets is None:
+        buckets = paper_buckets()
+    sums = [0.0] * len(buckets)
+    trues = [0] * len(buckets)
+    counts = [0] * len(buckets)
+    for key, label in labels.items():
+        p = predictions.get(key)
+        if p is None:
+            continue
+        index = _bucket_index(p, buckets)
+        sums[index] += p
+        counts[index] += 1
+        if label:
+            trues[index] += 1
+    points = []
+    for index, (low, high) in enumerate(buckets):
+        if counts[index] == 0:
+            continue
+        points.append(
+            CalibrationPoint(
+                low=low,
+                high=high,
+                mean_predicted=sums[index] / counts[index],
+                real_probability=trues[index] / counts[index],
+                count=counts[index],
+            )
+        )
+    return points
+
+
+def weighted_deviation(
+    predictions: Mapping[TripleKey, float],
+    labels: Mapping[TripleKey, bool],
+    buckets: list[tuple[float, float]] | None = None,
+) -> float:
+    """WDev: population-weighted square loss of the calibration curve."""
+    points = calibration_curve(predictions, labels, buckets)
+    total_count = sum(point.count for point in points)
+    if total_count == 0:
+        return 0.0
+    return sum(
+        point.count * (point.mean_predicted - point.real_probability) ** 2
+        for point in points
+    ) / total_count

@@ -1,0 +1,102 @@
+"""Square-loss metrics and coverage (Section 5.1.1).
+
+* **SqV** — square loss between p(V_d = v | X) and I(V*_d = v);
+* **SqC** — square loss between p(C_wdv = 1 | X) and I(C*_wdv = 1);
+* **SqA** — square loss between the estimated and true source accuracy;
+* **Cov** — the fraction of evaluation triples that received a probability
+  (methods ignore data from below-support parties, so Cov < 1).
+
+All losses average over the intersection of predictions and ground truth;
+for Cov the denominator is the full evaluation set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.types import DataItem, SourceKey, Value
+
+#: A triple: (data item, value).
+TripleKey = tuple[DataItem, Value]
+#: A C-layer coordinate: (source, item, value).
+Coord = tuple[SourceKey, DataItem, Value]
+
+
+def triple_predictions(
+    result, triples: Iterable[TripleKey]
+) -> dict[TripleKey, float]:
+    """Collect p(V_d = v | X) from a fitted result for the given triples.
+
+    Works with both model results (anything exposing ``triple_probability``).
+    Triples without a prediction (not covered) are omitted.
+    """
+    predictions: dict[TripleKey, float] = {}
+    for item, value in triples:
+        p = result.triple_probability(item, value)
+        if p is not None:
+            predictions[(item, value)] = p
+    return predictions
+
+
+def sq_value_loss(
+    predictions: Mapping[TripleKey, float],
+    labels: Mapping[TripleKey, bool],
+) -> float:
+    """SqV over the triples that have both a prediction and a label."""
+    total = 0.0
+    count = 0
+    for key, label in labels.items():
+        p = predictions.get(key)
+        if p is None:
+            continue
+        target = 1.0 if label else 0.0
+        total += (p - target) ** 2
+        count += 1
+    return total / count if count else 0.0
+
+
+def sq_extraction_loss(
+    p_correct: Mapping[Coord, float],
+    provided: set[Coord],
+    coords: Iterable[Coord] | None = None,
+) -> float:
+    """SqC over scored coordinates (or an explicit subset)."""
+    keys = list(coords) if coords is not None else list(p_correct)
+    total = 0.0
+    count = 0
+    for coord in keys:
+        p = p_correct.get(coord)
+        if p is None:
+            continue
+        target = 1.0 if coord in provided else 0.0
+        total += (p - target) ** 2
+        count += 1
+    return total / count if count else 0.0
+
+
+def sq_accuracy_loss(
+    estimated: Mapping[SourceKey, float],
+    truth: Mapping[SourceKey, float],
+) -> float:
+    """SqA over the sources present in both mappings."""
+    total = 0.0
+    count = 0
+    for source, true_accuracy in truth.items():
+        a = estimated.get(source)
+        if a is None:
+            continue
+        total += (a - true_accuracy) ** 2
+        count += 1
+    return total / count if count else 0.0
+
+
+def coverage(
+    predictions: Mapping[TripleKey, float],
+    evaluation_triples: Iterable[TripleKey],
+) -> float:
+    """Cov: fraction of the evaluation set that received a probability."""
+    triples = list(evaluation_triples)
+    if not triples:
+        return 0.0
+    covered = sum(1 for key in triples if key in predictions)
+    return covered / len(triples)

@@ -1,0 +1,66 @@
+"""Precision-recall curves and AUC-PR (Section 5.1.1, Figure 9).
+
+Triples are ordered by predicted probability (descending); sweeping a
+threshold down the ranking yields (recall, precision) points, and AUC-PR
+integrates precision over recall with the step rule (each new recall level
+contributes its precision). AUC-PR rewards monotonicity: it is high exactly
+when true triples are concentrated at the top of the ranking.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.eval.metrics import TripleKey
+
+
+def pr_curve(
+    predictions: Mapping[TripleKey, float],
+    labels: Mapping[TripleKey, bool],
+) -> list[tuple[float, float]]:
+    """(recall, precision) points over labelled predictions.
+
+    Ties in predicted probability are processed as one block so the curve
+    does not depend on dictionary order.
+    """
+    scored = [
+        (predictions[key], labels[key])
+        for key in labels
+        if key in predictions
+    ]
+    total_true = sum(1 for _p, label in scored if label)
+    if not scored or total_true == 0:
+        return []
+    scored.sort(key=lambda pair: -pair[0])
+
+    points: list[tuple[float, float]] = []
+    seen = 0
+    true_seen = 0
+    index = 0
+    while index < len(scored):
+        block_p = scored[index][0]
+        while index < len(scored) and scored[index][0] == block_p:
+            seen += 1
+            if scored[index][1]:
+                true_seen += 1
+            index += 1
+        recall = true_seen / total_true
+        precision = true_seen / seen
+        points.append((recall, precision))
+    return points
+
+
+def auc_pr(
+    predictions: Mapping[TripleKey, float],
+    labels: Mapping[TripleKey, bool],
+) -> float:
+    """Area under the PR curve via the step rule."""
+    points = pr_curve(predictions, labels)
+    if not points:
+        return 0.0
+    area = 0.0
+    previous_recall = 0.0
+    for recall, precision in points:
+        area += (recall - previous_recall) * precision
+        previous_recall = recall
+    return area

@@ -1,0 +1,61 @@
+"""Method-comparison reporting: the Table 5 / Table 6 row format.
+
+``MethodScores`` bundles the four metrics the paper reports per method
+(SqV, WDev, AUC-PR, Cov); ``method_table`` renders a set of methods as an
+aligned text table in the paper's column order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.eval.calibration import weighted_deviation
+from repro.eval.metrics import TripleKey, coverage, sq_value_loss
+from repro.eval.pr import auc_pr
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True, slots=True)
+class MethodScores:
+    """One row of a Table 5-style comparison."""
+
+    name: str
+    sqv: float
+    wdev: float
+    auc_pr: float
+    cov: float
+
+    def as_row(self) -> list[object]:
+        return [self.name, self.sqv, self.wdev, self.auc_pr, self.cov]
+
+
+def score_method(
+    name: str,
+    predictions: Mapping[TripleKey, float],
+    labels: Mapping[TripleKey, bool],
+) -> MethodScores:
+    """Compute the four paper metrics for one method's predictions.
+
+    SqV / WDev / AUC-PR are computed over the labelled triples the method
+    covered; Cov is the fraction of labelled triples covered.
+    """
+    return MethodScores(
+        name=name,
+        sqv=sq_value_loss(predictions, labels),
+        wdev=weighted_deviation(predictions, labels),
+        auc_pr=auc_pr(predictions, labels),
+        cov=coverage(predictions, labels.keys()),
+    )
+
+
+def method_table(
+    scores: list[MethodScores], title: str | None = None
+) -> str:
+    """Render methods in the paper's Table 5 column order."""
+    return format_table(
+        headers=["Method", "SqV", "WDev", "AUC-PR", "Cov"],
+        rows=[score.as_row() for score in scores],
+        title=title,
+        float_format="{:.4f}",
+    )

@@ -1,0 +1,43 @@
+"""Simulated web + extraction substrate (the Knowledge Vault stand-in).
+
+The paper's input is a corpus of (subject, predicate, object) triples
+extracted from webpages by a fleet of noisy extraction systems. This package
+simulates the whole stack with controllable error statistics:
+
+* :mod:`repro.extraction.schema` — predicates with types, functionality,
+  domain sizes and numeric ranges (drives type checking);
+* :mod:`repro.extraction.entities` — a mid-style entity catalog;
+* :mod:`repro.extraction.world` — the ground-truth facts;
+* :mod:`repro.extraction.pages` — websites/pages providing claims at the
+  site's accuracy;
+* :mod:`repro.extraction.patterns` / :mod:`repro.extraction.extractors` —
+  extraction systems with per-pattern precision, recall, confidence
+  calibration and reconciliation error modes;
+* :mod:`repro.extraction.campaign` — run the fleet over a corpus and collect
+  records plus per-record ground truth.
+"""
+
+from repro.extraction.campaign import CampaignResult, run_campaign
+from repro.extraction.entities import Entity, EntityCatalog
+from repro.extraction.extractors import ExtractorSystem
+from repro.extraction.pages import WebPage, WebSite, build_site
+from repro.extraction.patterns import PatternProfile
+from repro.extraction.schema import ObjectType, PredicateSpec, Schema, default_schema
+from repro.extraction.world import TrueWorld
+
+__all__ = [
+    "CampaignResult",
+    "Entity",
+    "EntityCatalog",
+    "ExtractorSystem",
+    "ObjectType",
+    "PatternProfile",
+    "PredicateSpec",
+    "Schema",
+    "TrueWorld",
+    "WebPage",
+    "WebSite",
+    "build_site",
+    "default_schema",
+    "run_campaign",
+]

@@ -1,0 +1,78 @@
+"""Extraction patterns: the per-pattern quality profile of an extractor.
+
+Knowledge Vault's 16 systems use ~40M extraction patterns of wildly varying
+quality (Section 5.3.1); quality genuinely lives at the pattern level, which
+is why the paper models extractors at the
+``<extractor, pattern, predicate, website>`` granularity. Each simulated
+pattern targets one predicate and carries its own recall, reconciliation
+precision, spurious-extraction rate, type-error rate, and confidence
+calibration flag.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PatternProfile:
+    """Quality profile of one extraction pattern.
+
+    Attributes:
+        pattern_id: identifier, unique within the extractor system.
+        predicate: the predicate this pattern extracts.
+        recall: probability of extracting a claim the page provides.
+        component_precision: probability each of subject / object is
+            reconciled correctly (triple-level precision is roughly the
+            product over corrupted components, cf. ``P^3`` in Section 5.2).
+        spurious_rate: probability of emitting one made-up triple per
+            processed page (a claim the page does not provide at all).
+        type_error_rate: probability that a corruption produces a *type
+            violation* (subject==object, wrong entity type, out-of-range
+            number) rather than a plausible in-domain mistake.
+        calibrated: whether emitted confidences track correctness; the
+            paper notes some extractors are bad at predicting confidence
+            (Section 5.3.3).
+        site_affinity: fraction of websites whose markup the pattern
+            matches. Real patterns are template-specific, which is why 48%
+            of Knowledge Vault's 40M patterns extract fewer than 5 triples
+            (Figure 5): most patterns fire on very few sites.
+    """
+
+    pattern_id: str
+    predicate: str
+    recall: float = 0.7
+    component_precision: float = 0.9
+    spurious_rate: float = 0.02
+    type_error_rate: float = 0.3
+    calibrated: bool = True
+    site_affinity: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("recall", "component_precision"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        for name in ("spurious_rate", "type_error_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if not 0.0 < self.site_affinity <= 1.0:
+            raise ValueError(
+                f"site_affinity must be in (0, 1], got {self.site_affinity}"
+            )
+
+    def applies_to(self, website: str) -> bool:
+        """Deterministic site-match: does this pattern fire on ``website``?
+
+        A hash of (pattern_id, website) is compared against the affinity,
+        so the set of matching sites is a stable property of the pattern.
+        """
+        if self.site_affinity >= 1.0:
+            return True
+        digest = hashlib.sha256(
+            f"{self.pattern_id}\x1f{website}".encode("utf-8")
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2**64
+        return draw < self.site_affinity

@@ -1,0 +1,124 @@
+"""The ground-truth world: true values and candidate domains per data item.
+
+For every predicate in the schema, the world materialises a set of subjects
+and, per data item, a typed candidate domain of ``domain_size`` values (one
+of which is the truth). Web sources draw their claims from these domains —
+correct with the site's accuracy, otherwise a false domain value — and the
+evaluation scores everything against :meth:`TrueWorld.true_value`.
+
+Each item also designates a "popular myth": one false value that wrong
+sources disproportionately agree on (like *Kenya* for Obama's nationality
+in the paper's running example), so falsehoods are corroborated across
+sources rather than being uncorrelated noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import DataItem, Value
+from repro.extraction.entities import EntityCatalog
+from repro.extraction.schema import ObjectType, PredicateSpec, Schema
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True, slots=True)
+class ItemFacts:
+    """Everything the world knows about one data item."""
+
+    item: DataItem
+    domain: tuple[Value, ...]
+    true_value: Value
+    myth_value: Value
+
+    def false_values(self) -> list[Value]:
+        return [v for v in self.domain if v != self.true_value]
+
+
+class TrueWorld:
+    """Immutable ground truth over the simulated corpus."""
+
+    def __init__(self, facts: dict[DataItem, ItemFacts], schema: Schema):
+        self._facts = facts
+        self._schema = schema
+        self._by_predicate: dict[str, list[DataItem]] = {}
+        for item in facts:
+            self._by_predicate.setdefault(item.predicate, []).append(item)
+
+    @classmethod
+    def build(
+        cls,
+        schema: Schema,
+        catalog: EntityCatalog,
+        items_per_predicate: int = 50,
+        seed: int = 0,
+    ) -> "TrueWorld":
+        """Materialise subjects, domains, truths and myths for the schema."""
+        if items_per_predicate < 1:
+            raise ValueError("items_per_predicate must be >= 1")
+        facts: dict[DataItem, ItemFacts] = {}
+        for spec in schema.predicates():
+            subjects = catalog.ensure(spec.subject_type, items_per_predicate)
+            for subject in subjects[:items_per_predicate]:
+                item = DataItem(subject.mid, spec.name)
+                rng = derive_rng(seed, "world", spec.name, subject.mid)
+                domain = tuple(_draw_domain(spec, catalog, rng, subject.mid))
+                true_value = rng.choice(domain)
+                false = [v for v in domain if v != true_value]
+                myth_value = rng.choice(false) if false else true_value
+                facts[item] = ItemFacts(item, domain, true_value, myth_value)
+        return cls(facts, schema)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def items(self) -> list[DataItem]:
+        return list(self._facts)
+
+    def items_for_predicate(self, predicate: str) -> list[DataItem]:
+        return list(self._by_predicate.get(predicate, []))
+
+    def facts(self, item: DataItem) -> ItemFacts:
+        return self._facts[item]
+
+    def __contains__(self, item: DataItem) -> bool:
+        return item in self._facts
+
+    def true_value(self, item: DataItem) -> Value:
+        return self._facts[item].true_value
+
+    def is_true(self, item: DataItem, value: Value) -> bool:
+        """Is (item, value) a fact of the world? Unknown items are false."""
+        facts = self._facts.get(item)
+        return facts is not None and facts.true_value == value
+
+    def domain(self, item: DataItem) -> tuple[Value, ...]:
+        return self._facts[item].domain
+
+    @property
+    def num_items(self) -> int:
+        return len(self._facts)
+
+
+def _draw_domain(
+    spec: PredicateSpec, catalog: EntityCatalog, rng, subject_mid: str
+) -> list[Value]:
+    """Draw a typed candidate domain for one item."""
+    size = spec.domain_size
+    if spec.object_type is ObjectType.ENTITY:
+        # A healthy object pool (3x domain) keeps domains distinct per item.
+        pool = catalog.ensure(spec.object_entity_type, max(size * 3, size))
+        chosen = rng.sample(pool, size)
+        return [entity.mid for entity in chosen]
+    if spec.object_type is ObjectType.STRING:
+        return [f"{spec.name}-val{k}" for k in range(size)]
+    low, high = spec.value_range
+    if spec.object_type is ObjectType.DATE:
+        years = rng.sample(range(int(low), int(high)), size)
+        return [float(year) for year in years]
+    # NUMBER: distinct uniform draws inside the valid range.
+    values: set[float] = set()
+    while len(values) < size:
+        values.add(round(rng.uniform(low, high), 2))
+    return sorted(values)

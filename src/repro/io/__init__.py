@@ -1,0 +1,16 @@
+"""Serialisation of extraction records and KBT reports.
+
+* :mod:`repro.io.jsonl` — read/write extraction records as JSON Lines (one
+  record per line), the interchange format of the command-line tool;
+* :mod:`repro.io.reports` — write KBT scores as CSV.
+"""
+
+from repro.io.jsonl import read_records, record_to_dict, write_records
+from repro.io.reports import write_score_csv
+
+__all__ = [
+    "read_records",
+    "record_to_dict",
+    "write_records",
+    "write_score_csv",
+]

@@ -1,0 +1,98 @@
+"""JSON Lines interchange for extraction records.
+
+One record per line::
+
+    {"extractor": ["sys", "pat", "capital", "geo.example"],
+     "source": ["geo.example", "capital", "geo.example/fr.html"],
+     "subject": "france", "predicate": "capital",
+     "value": "paris", "confidence": 0.95}
+
+``extractor`` / ``source`` are the hierarchical feature vectors (any
+prefix of their hierarchies); an optional integer ``*_bucket`` restores
+split keys. Values may be strings or numbers; ``confidence`` defaults
+to 1.0.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.core.types import (
+    DataItem,
+    ExtractionRecord,
+    ExtractorKey,
+    SourceKey,
+)
+
+
+def record_to_dict(record: ExtractionRecord) -> dict:
+    """The JSON-serialisable form of one record."""
+    out = {
+        "extractor": list(record.extractor.features),
+        "source": list(record.source.features),
+        "subject": record.item.subject,
+        "predicate": record.item.predicate,
+        "value": record.value,
+        "confidence": record.confidence,
+    }
+    if record.extractor.bucket is not None:
+        out["extractor_bucket"] = record.extractor.bucket
+    if record.source.bucket is not None:
+        out["source_bucket"] = record.source.bucket
+    return out
+
+
+def record_from_dict(data: dict) -> ExtractionRecord:
+    """Parse one record; raises ValueError on malformed input."""
+    try:
+        extractor = ExtractorKey(
+            tuple(str(f) for f in data["extractor"]),
+            bucket=data.get("extractor_bucket"),
+        )
+        source = SourceKey(
+            tuple(str(f) for f in data["source"]),
+            bucket=data.get("source_bucket"),
+        )
+        item = DataItem(str(data["subject"]), str(data["predicate"]))
+        value = data["value"]
+        confidence = float(data.get("confidence", 1.0))
+    except (KeyError, TypeError) as error:
+        raise ValueError(f"malformed record: {data!r}") from error
+    return ExtractionRecord(
+        extractor=extractor,
+        source=source,
+        item=item,
+        value=value,
+        confidence=confidence,
+    )
+
+
+def write_records(
+    records: Iterable[ExtractionRecord], path: str | Path
+) -> int:
+    """Write records as JSONL; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record_to_dict(record)))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_records(path: str | Path) -> Iterator[ExtractionRecord]:
+    """Stream records from a JSONL file (blank lines are skipped)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid JSON"
+                ) from error
+            yield record_from_dict(data)

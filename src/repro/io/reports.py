@@ -1,0 +1,25 @@
+"""CSV output of KBT scores."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.core.kbt import KBTScore
+
+
+def write_score_csv(
+    scores: dict[object, KBTScore], path: str | Path
+) -> int:
+    """Write (key, kbt, support) rows sorted by descending trust."""
+    ordered = sorted(scores.values(), key=lambda s: -s.score)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["key", "kbt", "support"])
+        for score in ordered:
+            key = score.key
+            if isinstance(key, tuple):
+                key = "|".join(str(part) for part in key)
+            writer.writerow([key, f"{score.score:.6f}",
+                             f"{score.support:.2f}"])
+    return len(ordered)

@@ -1,0 +1,28 @@
+"""Freebase-like knowledge base and the gold-standard labelers.
+
+The paper builds its evaluation gold standard two ways (Section 5.3.1):
+
+* **LCWA** (Local Closed-World Assumption): a triple is true if it is in
+  the KB, false if the KB knows the (subject, predicate) with a different
+  value, unknown otherwise — :mod:`repro.kb.lcwa`;
+* **Type checking**: subject==object, type-incompatible objects and
+  out-of-range values are false *and* extraction errors —
+  :mod:`repro.kb.typecheck`.
+
+:mod:`repro.kb.gold` combines both and also provides the gold-based smart
+initialisation used by the "+" method variants.
+"""
+
+from repro.kb.gold import GoldStandard
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.lcwa import LCWALabeler, Label
+from repro.kb.typecheck import TypeChecker, TypeViolation
+
+__all__ = [
+    "GoldStandard",
+    "KnowledgeBase",
+    "LCWALabeler",
+    "Label",
+    "TypeChecker",
+    "TypeViolation",
+]

@@ -1,0 +1,74 @@
+"""Type checking: rule-based detection of impossible triples (Section 5.3.1).
+
+A triple (s, p, o) is a *type violation* — false and an extraction error —
+when:
+
+1. ``s == o`` (an entity related to itself by a non-reflexive predicate);
+2. the object's type is incompatible with the predicate (a string where an
+   entity of a specific type is required, an entity of the wrong type, a
+   non-numeric object for a numeric predicate);
+3. the object is outside the predicate's expected range (the paper's
+   example: an athlete weighing over 1000 pounds).
+
+Entity types are encoded in the mid (``person:0042``), mirroring a Freebase
+type lookup.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.types import DataItem, Value
+from repro.extraction.entities import type_of_mid
+from repro.extraction.schema import ObjectType, Schema
+
+
+class TypeViolation(enum.Enum):
+    """Why a triple failed type checking."""
+
+    SUBJECT_EQUALS_OBJECT = "subject_equals_object"
+    INCOMPATIBLE_TYPE = "incompatible_type"
+    OUT_OF_RANGE = "out_of_range"
+
+
+class TypeChecker:
+    """Validates triples against the predicate schema."""
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+
+    def check(self, item: DataItem, value: Value) -> TypeViolation | None:
+        """Return the violation, or None when the triple is well-typed.
+
+        Triples of predicates missing from the schema pass (there is no
+        declaration to violate).
+        """
+        if item.predicate not in self._schema:
+            return None
+        spec = self._schema.get(item.predicate)
+        if isinstance(value, str) and value == item.subject:
+            return TypeViolation.SUBJECT_EQUALS_OBJECT
+
+        if spec.object_type in (ObjectType.NUMBER, ObjectType.DATE):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                return TypeViolation.INCOMPATIBLE_TYPE
+            low, high = spec.value_range
+            if not low <= float(value) <= high:
+                return TypeViolation.OUT_OF_RANGE
+            return None
+
+        if spec.object_type is ObjectType.ENTITY:
+            if not isinstance(value, str):
+                return TypeViolation.INCOMPATIBLE_TYPE
+            value_type = type_of_mid(value)
+            if value_type != spec.object_entity_type:
+                return TypeViolation.INCOMPATIBLE_TYPE
+            return None
+
+        # STRING objects: anything except a non-string is acceptable.
+        if not isinstance(value, str):
+            return TypeViolation.INCOMPATIBLE_TYPE
+        return None
+
+    def is_violation(self, item: DataItem, value: Value) -> bool:
+        return self.check(item, value) is not None

@@ -1,0 +1,35 @@
+"""FlumeJava-like pipeline substrate and the Table 7 efficiency experiment.
+
+The paper's implementation runs on FlumeJava/MapReduce (Section 5.3.4); its
+efficiency results are about *stragglers*: reduce tasks for huge sources or
+extractors dominate a stage's wall clock until SPLITANDMERGE breaks them up.
+We reproduce this with
+
+* :mod:`repro.mapreduce.flume` — a local pipeline (parallel-do /
+  group-by-key / combine) that records per-stage record counts and reduce
+  group sizes;
+* :mod:`repro.mapreduce.cluster` — a cluster cost model computing each
+  stage's makespan over ``num_workers`` with an LPT schedule;
+* :mod:`repro.mapreduce.mr_multilayer` — the multi-layer EM iteration
+  expressed as the four MR stages of Table 7 (ExtCorr, TriplePr, SrcAccu,
+  ExtQuality), numerically equivalent to the in-memory model.
+"""
+
+from repro.mapreduce.cluster import ClusterCostModel, lpt_makespan
+from repro.mapreduce.flume import LocalPipeline, PCollection, StageStats
+from repro.mapreduce.mr_multilayer import (
+    IterationTiming,
+    MRMultiLayerRunner,
+    MRRunReport,
+)
+
+__all__ = [
+    "ClusterCostModel",
+    "IterationTiming",
+    "LocalPipeline",
+    "MRMultiLayerRunner",
+    "MRRunReport",
+    "PCollection",
+    "StageStats",
+    "lpt_makespan",
+]

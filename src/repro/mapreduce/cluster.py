@@ -1,0 +1,68 @@
+"""Cluster cost model: stage makespans with an LPT schedule.
+
+Table 7 reports *relative* wall-clock times on a Map-Reduce cluster. The
+phenomenon behind its numbers is scheduling, not arithmetic: a stage's wall
+clock is the makespan of its reduce tasks over the worker pool, so one
+oversized group (a mega extractor, a huge source) dominates the whole stage
+until it is split. The model here computes exactly that: map work spreads
+uniformly over workers; reduce tasks cost ``per_record_cost * group_size +
+per_task_overhead`` each and are assigned greedily, longest first (LPT).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+
+def lpt_makespan(costs: list[float], num_workers: int) -> float:
+    """Makespan of tasks on identical workers, longest-processing-time-first."""
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    if not costs:
+        return 0.0
+    loads = [0.0] * min(num_workers, len(costs))
+    heapq.heapify(loads)
+    for cost in sorted(costs, reverse=True):
+        if cost < 0:
+            raise ValueError("task costs must be >= 0")
+        lightest = heapq.heappop(loads)
+        heapq.heappush(loads, lightest + cost)
+    return max(loads)
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterCostModel:
+    """Simulated cluster: worker count and per-record / per-task costs."""
+
+    num_workers: int = 50
+    per_record_cost: float = 1.0
+    per_task_overhead: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.per_record_cost <= 0:
+            raise ValueError("per_record_cost must be > 0")
+        if self.per_task_overhead < 0:
+            raise ValueError("per_task_overhead must be >= 0")
+
+    def map_time(self, num_records: int) -> float:
+        """Wall clock of a map phase: records spread evenly over workers."""
+        if num_records < 0:
+            raise ValueError("num_records must be >= 0")
+        return self.per_record_cost * num_records / self.num_workers
+
+    def reduce_time(self, group_sizes: tuple[int, ...] | list[int]) -> float:
+        """Wall clock of a reduce phase: LPT makespan of per-group tasks."""
+        costs = [
+            self.per_record_cost * size + self.per_task_overhead
+            for size in group_sizes
+        ]
+        return lpt_makespan(costs, self.num_workers)
+
+    def stage_time(
+        self, num_mapped: int, group_sizes: tuple[int, ...] | list[int]
+    ) -> float:
+        """Map followed by shuffle+reduce."""
+        return self.map_time(num_mapped) + self.reduce_time(group_sizes)

@@ -1,0 +1,120 @@
+"""A small FlumeJava-like local pipeline (Chambers et al., PLDI 2010).
+
+Provides the three primitives the paper's implementation is built from —
+``parallel_do`` (map), ``group_by_key`` (shuffle), ``combine_values``
+(reduce) — executed locally and deterministically, while recording per-stage
+statistics (record counts and reduce group sizes). The statistics feed the
+cluster cost model that turns a run into simulated wall-clock times for the
+Table 7 experiment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class StageStats:
+    """What one pipeline stage processed."""
+
+    name: str
+    kind: str  # "parallel_do" | "group_by_key" | "combine_values"
+    input_records: int
+    output_records: int
+    #: reduce group sizes (group_by_key / combine_values stages only).
+    group_sizes: tuple[int, ...] = ()
+
+
+@dataclass
+class LocalPipeline:
+    """Factory for PCollections; accumulates stage statistics."""
+
+    stages: list[StageStats] = field(default_factory=list)
+
+    def read(self, data: Iterable, name: str = "read") -> "PCollection":
+        items = list(data)
+        self.stages.append(
+            StageStats(name=name, kind="read", input_records=len(items),
+                       output_records=len(items))
+        )
+        return PCollection(self, items)
+
+    def _record(self, stats: StageStats) -> None:
+        self.stages.append(stats)
+
+    def stats_for(self, name: str) -> list[StageStats]:
+        return [s for s in self.stages if s.name == name]
+
+
+class PCollection:
+    """An immutable local collection flowing through pipeline stages."""
+
+    def __init__(self, pipeline: LocalPipeline, items: list) -> None:
+        self._pipeline = pipeline
+        self._items = items
+
+    def parallel_do(
+        self, fn: Callable, name: str = "parallel_do"
+    ) -> "PCollection":
+        """Apply ``fn(record) -> iterable`` to every record (flat-map)."""
+        output = []
+        for item in self._items:
+            output.extend(fn(item))
+        self._pipeline._record(
+            StageStats(
+                name=name,
+                kind="parallel_do",
+                input_records=len(self._items),
+                output_records=len(output),
+            )
+        )
+        return PCollection(self._pipeline, output)
+
+    def group_by_key(self, name: str = "group_by_key") -> "PCollection":
+        """(k, v) records -> (k, [v]) records, preserving first-seen order."""
+        groups: dict = {}
+        for key, value in self._items:
+            groups.setdefault(key, []).append(value)
+        output = list(groups.items())
+        self._pipeline._record(
+            StageStats(
+                name=name,
+                kind="group_by_key",
+                input_records=len(self._items),
+                output_records=len(output),
+                group_sizes=tuple(len(v) for _k, v in output),
+            )
+        )
+        return PCollection(self._pipeline, output)
+
+    def combine_values(
+        self, fn: Callable, name: str = "combine_values"
+    ) -> "PCollection":
+        """(k, [v]) records -> (k, fn(k, [v])) records (the reduce)."""
+        output = []
+        sizes = []
+        for key, values in self._items:
+            sizes.append(len(values))
+            output.append((key, fn(key, values)))
+        self._pipeline._record(
+            StageStats(
+                name=name,
+                kind="combine_values",
+                input_records=len(self._items),
+                output_records=len(output),
+                group_sizes=tuple(sizes),
+            )
+        )
+        return PCollection(self._pipeline, output)
+
+    def materialize(self) -> list:
+        """The stage's records as a plain list."""
+        return list(self._items)
+
+    def as_dict(self) -> dict:
+        """(k, v) records as a dict (last write wins)."""
+        return dict(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,32 @@
+"""Shared numeric, random-stream, and formatting utilities.
+
+These helpers are deliberately dependency-free (standard library only) so the
+core inference code stays portable; the heavier scientific stack is only used
+by tests and benchmarks.
+"""
+
+from repro.util.logmath import (
+    clamp,
+    clamp_probability,
+    log_odds,
+    safe_log,
+    sigmoid,
+    softmax_with_floor_mass,
+)
+from repro.util.rng import derive_rng, pareto_int, weighted_choice, zipf_sizes
+from repro.util.tables import format_histogram, format_table
+
+__all__ = [
+    "clamp",
+    "clamp_probability",
+    "derive_rng",
+    "format_histogram",
+    "format_table",
+    "log_odds",
+    "pareto_int",
+    "safe_log",
+    "sigmoid",
+    "softmax_with_floor_mass",
+    "weighted_choice",
+    "zipf_sizes",
+]

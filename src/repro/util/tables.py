@@ -1,0 +1,70 @@
+"""Plain-text rendering of tables and histograms for benches and examples.
+
+The benchmark harness regenerates every table and figure of the paper as
+text: tables render with aligned columns, figures render as horizontal-bar
+histograms or aligned series, so the paper's shapes can be eyeballed straight
+from bench output without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    Floats are formatted with ``float_format``; everything else with ``str``.
+    """
+    def render_cell(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_histogram(
+    buckets: Sequence[tuple[str, float]],
+    title: str | None = None,
+    width: int = 50,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render (label, value) buckets as a horizontal bar chart."""
+    lines = []
+    if title:
+        lines.append(title)
+    if not buckets:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    label_width = max(len(label) for label, _ in buckets)
+    peak = max(value for _, value in buckets)
+    scale = (width / peak) if peak > 0 else 0.0
+    for label, value in buckets:
+        bar = "#" * int(round(value * scale))
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {value_format.format(value)}"
+        )
+    return "\n".join(lines)

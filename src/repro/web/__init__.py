@@ -1,0 +1,28 @@
+"""Web-graph substrate: link popularity, PageRank, and the Figure 10 join.
+
+KBT is an *endogenous* quality signal; the paper contrasts it with
+PageRank, the canonical *exogenous* one. This package provides a synthetic
+hyperlink graph whose popularity is drawn independently of factual accuracy
+(with popular-but-wrong "gossip" sites and accurate-but-obscure tail
+sites), a from-scratch power-iteration PageRank, and the correlation /
+quadrant analysis of Section 5.4.1.
+"""
+
+from repro.web.analysis import (
+    KBTPageRankPoint,
+    join_kbt_pagerank,
+    pearson_correlation,
+    quadrant_analysis,
+)
+from repro.web.graph import WebGraph, generate_web_graph
+from repro.web.pagerank import pagerank
+
+__all__ = [
+    "KBTPageRankPoint",
+    "WebGraph",
+    "generate_web_graph",
+    "join_kbt_pagerank",
+    "pagerank",
+    "pearson_correlation",
+    "quadrant_analysis",
+]

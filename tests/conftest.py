@@ -1,0 +1,51 @@
+"""Shared fixtures: the worked example, synthetic draws, and a KV corpus.
+
+Session-scoped fixtures keep the expensive corpus generation to one run per
+test session; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.observation import ObservationMatrix
+from repro.datasets.kv import KVConfig, generate_kv
+from repro.datasets.motivating import motivating_example
+from repro.datasets.synthetic import SyntheticConfig, generate
+
+
+@pytest.fixture(scope="session")
+def example():
+    """The Obama-nationality worked example (Tables 2-3)."""
+    return motivating_example()
+
+
+@pytest.fixture(scope="session")
+def example_matrix(example):
+    return ObservationMatrix.from_records(example.records)
+
+
+@pytest.fixture(scope="session")
+def synthetic():
+    """One Section 5.2 draw with paper-default knobs."""
+    return generate(SyntheticConfig(seed=7))
+
+
+@pytest.fixture(scope="session")
+def synthetic_matrix(synthetic):
+    return ObservationMatrix.from_records(synthetic.records)
+
+
+@pytest.fixture(scope="session")
+def kv_small():
+    """A small KV-like corpus: fast to generate, still heavy-tailed."""
+    return generate_kv(
+        KVConfig(
+            num_websites=60,
+            items_per_predicate=25,
+            num_systems=6,
+            max_pages_per_site=12,
+            max_claims_per_page=120,
+            seed=11,
+        )
+    )

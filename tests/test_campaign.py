@@ -1,0 +1,100 @@
+"""Unit tests for the extraction campaign glue."""
+
+import pytest
+
+from repro.extraction.campaign import run_campaign
+from repro.extraction.entities import EntityCatalog
+from repro.extraction.extractors import ExtractorSystem
+from repro.extraction.pages import build_site
+from repro.extraction.patterns import PatternProfile
+from repro.extraction.schema import default_schema
+from repro.extraction.world import TrueWorld
+
+
+@pytest.fixture(scope="module")
+def setup():
+    schema = default_schema()
+    world = TrueWorld.build(schema, EntityCatalog(seed=0),
+                            items_per_predicate=40, seed=0)
+    sites = [
+        build_site(world, "good.com", accuracy=0.95, page_sizes=[20, 20],
+                   predicates=["nationality", "gender"], seed=1),
+        build_site(world, "bad.com", accuracy=0.2, page_sizes=[20, 20],
+                   predicates=["nationality", "gender"], seed=2),
+    ]
+    systems = [
+        ExtractorSystem(
+            name="sys0",
+            patterns=(
+                PatternProfile("p0", "nationality", recall=0.9,
+                               component_precision=0.95),
+                PatternProfile("p1", "gender", recall=0.9,
+                               component_precision=0.95),
+            ),
+            page_coverage=1.0,
+        ),
+        ExtractorSystem(
+            name="sys1",
+            patterns=(
+                PatternProfile("p0", "nationality", recall=0.5,
+                               component_precision=0.7,
+                               type_error_rate=0.5),
+            ),
+            page_coverage=1.0,
+        ),
+    ]
+    result = run_campaign(sites, systems, world, schema, seed=0)
+    return world, sites, systems, result
+
+
+class TestRunCampaign:
+    def test_records_produced(self, setup):
+        _world, _sites, _systems, result = setup
+        assert result.num_records > 50
+        assert len(result.outcomes) == result.num_records
+
+    def test_provided_includes_unextracted_claims(self, setup):
+        _world, sites, _systems, result = setup
+        total_claims = sum(site.num_claims for site in sites)
+        assert len(result.provided) == total_claims
+
+    def test_outcome_truth_consistent_with_provided(self, setup):
+        _world, _sites, _systems, result = setup
+        for outcome in result.outcomes:
+            coord = (
+                outcome.record.source,
+                outcome.record.item,
+                outcome.record.value,
+            )
+            assert outcome.provided == (coord in result.provided)
+
+    def test_site_accuracy_reflects_parameters(self, setup):
+        world, _sites, _systems, result = setup
+        assert result.true_site_accuracy["good.com"] > 0.85
+        assert result.true_site_accuracy["bad.com"] < 0.35
+
+    def test_type_errors_collected(self, setup):
+        _world, _sites, _systems, result = setup
+        assert result.type_error_triples
+        flagged = {
+            (o.record.item, o.record.value)
+            for o in result.outcomes
+            if o.type_error
+        }
+        assert flagged == result.type_error_triples
+
+    def test_observation_matrix_cached(self, setup):
+        _world, _sites, _systems, result = setup
+        assert result.observation() is result.observation()
+        assert result.observation().num_records == result.num_records
+
+    def test_campaign_deterministic(self, setup):
+        world, sites, systems, result = setup
+        again = run_campaign(sites, systems, world, default_schema(), seed=0)
+        assert again.num_records == result.num_records
+        assert again.provided == result.provided
+
+    def test_different_seed_changes_draws(self, setup):
+        world, sites, systems, result = setup
+        other = run_campaign(sites, systems, world, default_schema(), seed=9)
+        assert other.records != result.records

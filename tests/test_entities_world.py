@@ -1,0 +1,116 @@
+"""Unit tests for the entity catalog and the ground-truth world."""
+
+import pytest
+
+from repro.core.types import DataItem
+from repro.extraction.entities import EntityCatalog, make_mid, type_of_mid
+from repro.extraction.schema import ObjectType, default_schema
+from repro.extraction.world import TrueWorld
+
+
+class TestMids:
+    def test_make_and_parse(self):
+        mid = make_mid("person", 42)
+        assert mid == "person:0042"
+        assert type_of_mid(mid) == "person"
+
+    def test_non_entity_values_have_no_type(self):
+        assert type_of_mid("plain-string") is None
+        assert type_of_mid(1957.0) is None
+
+
+class TestEntityCatalog:
+    def test_ensure_grows_pool(self):
+        catalog = EntityCatalog()
+        entities = catalog.ensure("person", 10)
+        assert len(entities) == 10
+        assert catalog.size("person") == 10
+        assert all(e.etype == "person" for e in entities)
+
+    def test_ensure_is_idempotent(self):
+        catalog = EntityCatalog()
+        first = catalog.ensure("city", 5)
+        second = catalog.ensure("city", 3)
+        assert second == first[:3]
+        assert catalog.size("city") == 5
+
+    def test_sample_is_deterministic(self):
+        c1 = EntityCatalog(seed=3)
+        c2 = EntityCatalog(seed=3)
+        c1.ensure("person", 20)
+        c2.ensure("person", 20)
+        assert c1.sample("person", 5, "x") == c2.sample("person", 5, "x")
+
+    def test_sample_distinct(self):
+        catalog = EntityCatalog()
+        catalog.ensure("person", 30)
+        sample = catalog.sample("person", 10, "y")
+        assert len({e.mid for e in sample}) == 10
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            EntityCatalog().ensure("person", -1)
+
+
+class TestTrueWorld:
+    @pytest.fixture(scope="class")
+    def world(self):
+        schema = default_schema()
+        catalog = EntityCatalog(seed=0)
+        return TrueWorld.build(schema, catalog, items_per_predicate=10, seed=0)
+
+    def test_items_per_predicate(self, world):
+        schema = default_schema()
+        assert world.num_items == 10 * len(schema)
+        for spec in schema.predicates():
+            assert len(world.items_for_predicate(spec.name)) == 10
+
+    def test_true_value_in_domain(self, world):
+        for item in world.items():
+            assert world.true_value(item) in world.domain(item)
+
+    def test_domain_size_matches_spec(self, world):
+        schema = default_schema()
+        for item in world.items():
+            expected = schema.get(item.predicate).domain_size
+            assert len(world.domain(item)) == expected
+
+    def test_domain_values_distinct(self, world):
+        for item in world.items():
+            domain = world.domain(item)
+            assert len(set(domain)) == len(domain)
+
+    def test_myth_is_false_value(self, world):
+        for item in world.items():
+            facts = world.facts(item)
+            assert facts.myth_value != facts.true_value
+            assert facts.myth_value in facts.domain
+
+    def test_entity_domains_carry_expected_type(self, world):
+        schema = default_schema()
+        for item in world.items():
+            spec = schema.get(item.predicate)
+            if spec.object_type is ObjectType.ENTITY:
+                for value in world.domain(item):
+                    assert value.split(":")[0] == spec.object_entity_type
+
+    def test_numeric_domains_within_range(self, world):
+        schema = default_schema()
+        for item in world.items():
+            spec = schema.get(item.predicate)
+            if spec.object_type in (ObjectType.NUMBER, ObjectType.DATE):
+                low, high = spec.value_range
+                for value in world.domain(item):
+                    assert low <= value <= high
+
+    def test_is_true_rejects_unknown_items(self, world):
+        assert not world.is_true(DataItem("ghost", "nationality"), "x")
+
+    def test_deterministic_rebuild(self):
+        schema = default_schema()
+        w1 = TrueWorld.build(schema, EntityCatalog(seed=1),
+                             items_per_predicate=5, seed=9)
+        w2 = TrueWorld.build(schema, EntityCatalog(seed=1),
+                             items_per_predicate=5, seed=9)
+        for item in w1.items():
+            assert w1.true_value(item) == w2.true_value(item)

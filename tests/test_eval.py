@@ -1,0 +1,182 @@
+"""Unit tests for the Section 5.1.1 metrics."""
+
+import pytest
+
+from repro.core.types import DataItem, SourceKey
+from repro.eval.calibration import (
+    calibration_curve,
+    paper_buckets,
+    weighted_deviation,
+)
+from repro.eval.metrics import (
+    coverage,
+    sq_accuracy_loss,
+    sq_extraction_loss,
+    sq_value_loss,
+)
+from repro.eval.pr import auc_pr, pr_curve
+from repro.eval.report import MethodScores, method_table, score_method
+
+
+def t(name):
+    return (DataItem(name, "p"), "v")
+
+
+class TestSqValueLoss:
+    def test_perfect_predictions_zero_loss(self):
+        labels = {t("a"): True, t("b"): False}
+        predictions = {t("a"): 1.0, t("b"): 0.0}
+        assert sq_value_loss(predictions, labels) == 0.0
+
+    def test_worst_predictions_loss_one(self):
+        labels = {t("a"): True, t("b"): False}
+        predictions = {t("a"): 0.0, t("b"): 1.0}
+        assert sq_value_loss(predictions, labels) == 1.0
+
+    def test_uncovered_triples_ignored(self):
+        labels = {t("a"): True, t("b"): False}
+        predictions = {t("a"): 0.5}
+        assert sq_value_loss(predictions, labels) == pytest.approx(0.25)
+
+    def test_empty_inputs(self):
+        assert sq_value_loss({}, {}) == 0.0
+
+
+class TestSqExtractionLoss:
+    def test_matches_indicator(self):
+        w = SourceKey(("w",))
+        c1 = (w, DataItem("a", "p"), "v")
+        c2 = (w, DataItem("b", "p"), "v")
+        loss = sq_extraction_loss({c1: 0.9, c2: 0.2}, provided={c1})
+        assert loss == pytest.approx(((0.1) ** 2 + (0.2) ** 2) / 2)
+
+    def test_explicit_coordinate_subset(self):
+        w = SourceKey(("w",))
+        c1 = (w, DataItem("a", "p"), "v")
+        c2 = (w, DataItem("b", "p"), "v")
+        loss = sq_extraction_loss(
+            {c1: 1.0, c2: 1.0}, provided={c1}, coords=[c1]
+        )
+        assert loss == 0.0
+
+
+class TestSqAccuracyLoss:
+    def test_intersection_only(self):
+        est = {SourceKey(("a",)): 0.8}
+        truth = {SourceKey(("a",)): 0.6, SourceKey(("b",)): 0.9}
+        assert sq_accuracy_loss(est, truth) == pytest.approx(0.04)
+
+    def test_empty(self):
+        assert sq_accuracy_loss({}, {}) == 0.0
+
+
+class TestCoverage:
+    def test_fraction(self):
+        predictions = {t("a"): 0.5}
+        assert coverage(predictions, [t("a"), t("b")]) == 0.5
+
+    def test_empty_universe(self):
+        assert coverage({}, []) == 0.0
+
+
+class TestPaperBuckets:
+    def test_bucket_count(self):
+        # 5 fine low + 18 coarse middle + 5 fine high + [1, 1].
+        assert len(paper_buckets()) == 29
+
+    def test_buckets_tile_unit_interval(self):
+        buckets = paper_buckets()
+        assert buckets[0][0] == 0.0
+        for (l1, h1), (l2, _h2) in zip(buckets[:-2], buckets[1:-1]):
+            assert h1 == pytest.approx(l2)
+        assert buckets[-2][1] == pytest.approx(1.0)
+        assert buckets[-1] == (1.0, 1.0)
+
+
+class TestCalibration:
+    def test_perfectly_calibrated_zero_wdev(self):
+        labels = {}
+        predictions = {}
+        # 100 triples at 0.3, 30 of them true: bucket is calibrated.
+        for i in range(100):
+            key = t(f"x{i}")
+            labels[key] = i < 30
+            predictions[key] = 0.3
+        assert weighted_deviation(predictions, labels) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_miscalibration_measured(self):
+        labels = {}
+        predictions = {}
+        for i in range(100):
+            key = t(f"x{i}")
+            labels[key] = i < 90  # real probability 0.9
+            predictions[key] = 0.3  # predicted 0.3
+        assert weighted_deviation(predictions, labels) == pytest.approx(
+            0.36, abs=1e-6
+        )
+
+    def test_curve_points_carry_counts(self):
+        labels = {t("a"): True, t("b"): False}
+        predictions = {t("a"): 0.97, t("b"): 0.02}
+        points = calibration_curve(predictions, labels)
+        assert len(points) == 2
+        assert all(p.count == 1 for p in points)
+
+    def test_probability_one_lands_in_last_bucket(self):
+        labels = {t("a"): True}
+        predictions = {t("a"): 1.0}
+        points = calibration_curve(predictions, labels)
+        assert points[0].low == 1.0
+
+
+class TestPRCurve:
+    def test_perfect_ranking_auc_one(self):
+        labels = {t("a"): True, t("b"): True, t("c"): False}
+        predictions = {t("a"): 0.9, t("b"): 0.8, t("c"): 0.1}
+        assert auc_pr(predictions, labels) == pytest.approx(1.0)
+
+    def test_inverted_ranking_low_auc(self):
+        labels = {t("a"): True, t("b"): False, t("c"): False}
+        predictions = {t("a"): 0.1, t("b"): 0.8, t("c"): 0.9}
+        assert auc_pr(predictions, labels) == pytest.approx(1.0 / 3.0)
+
+    def test_ties_processed_as_block(self):
+        labels = {t("a"): True, t("b"): False}
+        predictions = {t("a"): 0.5, t("b"): 0.5}
+        points = pr_curve(predictions, labels)
+        assert points == [(1.0, 0.5)]
+
+    def test_no_positives_empty_curve(self):
+        labels = {t("a"): False}
+        predictions = {t("a"): 0.4}
+        assert pr_curve(predictions, labels) == []
+        assert auc_pr(predictions, labels) == 0.0
+
+    def test_recall_reaches_one_when_all_covered(self):
+        labels = {t(f"x{i}"): i % 2 == 0 for i in range(10)}
+        predictions = {key: 0.1 * i for i, key in enumerate(labels)}
+        points = pr_curve(predictions, labels)
+        assert points[-1][0] == pytest.approx(1.0)
+
+
+class TestReport:
+    def test_score_method_bundles_metrics(self):
+        labels = {t("a"): True, t("b"): False}
+        predictions = {t("a"): 0.9, t("b"): 0.2}
+        scores = score_method("M", predictions, labels)
+        assert scores.name == "M"
+        assert 0.0 <= scores.sqv <= 1.0
+        assert scores.cov == 1.0
+
+    def test_method_table_renders_all_rows(self):
+        rows = [
+            MethodScores("SINGLELAYER", 0.131, 0.061, 0.454, 0.952),
+            MethodScores("MULTILAYER", 0.105, 0.042, 0.439, 0.849),
+        ]
+        text = method_table(rows, title="Table 5")
+        assert "SINGLELAYER" in text
+        assert "MULTILAYER" in text
+        assert "Table 5" in text
+        assert "AUC-PR" in text

@@ -1,0 +1,48 @@
+"""Smoke tests: the example scripts must run and print their key findings.
+
+The slowest example (kv_pipeline) is exercised by the benchmarks instead.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Knowledge-Based Trust per website" in out
+        assert "clickbait.example" in out
+
+    def test_obama_nationality(self):
+        out = run_example("obama_nationality.py")
+        assert "p(nationality = USA)" in out
+        assert "Table 4" in out
+
+    def test_scraper_detection(self):
+        out = run_example("scraper_detection.py")
+        assert "scraper.example copies gossip.example" in out
+
+    def test_granularity_tuning(self):
+        out = run_example("granularity_tuning.py")
+        assert "after SPLITANDMERGE" in out
+
+    @pytest.mark.slow
+    def test_synthetic_evaluation(self):
+        out = run_example("synthetic_evaluation.py")
+        assert "SqA" in out

@@ -1,0 +1,128 @@
+"""Unit tests for the Gibbs-sampling inference engine."""
+
+import pytest
+
+from repro.core.config import AbsenceScope, MultiLayerConfig
+from repro.core.gibbs import GibbsConfig, GibbsMultiLayer
+from repro.core.multi_layer import MultiLayerModel
+from repro.core.observation import ObservationMatrix
+from repro.datasets.motivating import (
+    KENYA,
+    USA,
+    motivating_example,
+    source_key,
+)
+from repro.eval.metrics import sq_accuracy_loss
+
+
+class TestGibbsConfig:
+    def test_defaults(self):
+        cfg = GibbsConfig()
+        assert cfg.burn_in >= 0
+        assert cfg.samples >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GibbsConfig(burn_in=-1)
+        with pytest.raises(ValueError):
+            GibbsConfig(samples=0)
+        with pytest.raises(ValueError):
+            GibbsConfig(accuracy_prior=(0.0, 1.0))
+
+
+class TestOnMotivatingExample:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        ex = motivating_example()
+        obs = ObservationMatrix.from_records(ex.records)
+        sampler = GibbsMultiLayer(
+            MultiLayerConfig(), GibbsConfig(seed=5, burn_in=20, samples=60)
+        )
+        return ex, sampler.fit(obs)
+
+    def test_finds_the_true_value(self, fitted):
+        ex, result = fitted
+        assert result.triple_probability(ex.item, USA) > 0.9
+        assert result.triple_probability(ex.item, KENYA) < 0.1
+
+    def test_posteriors_are_probabilities(self, fitted):
+        _ex, result = fitted
+        for p in result.extraction_posteriors.values():
+            assert 0.0 <= p <= 1.0
+        for values in result.value_posteriors.values():
+            assert all(0.0 <= p <= 1.0 for p in values.values())
+            assert sum(values.values()) <= 1.0 + 1e-9
+        for a in result.source_accuracy.values():
+            assert 0.0 < a < 1.0
+
+    def test_correct_extractions_scored_high(self, fitted):
+        ex, result = fitted
+        assert result.extraction_probability(
+            source_key("W1"), ex.item, USA
+        ) > 0.8
+
+    def test_lone_noise_extraction_scored_low(self, fitted):
+        ex, result = fitted
+        assert result.extraction_probability(
+            source_key("W8"), ex.item, KENYA
+        ) < 0.5
+
+    def test_quality_report_complete(self, fitted):
+        _ex, result = fitted
+        assert len(result.extractor_quality) == 5
+        for quality in result.extractor_quality.values():
+            assert 0.0 < quality.precision < 1.0
+            assert 0.0 < quality.recall < 1.0
+
+
+class TestDeterminismAndAgreement:
+    def test_same_seed_same_posterior(self, example_matrix):
+        cfg = MultiLayerConfig()
+        g1 = GibbsMultiLayer(cfg, GibbsConfig(seed=3)).fit(example_matrix)
+        g2 = GibbsMultiLayer(cfg, GibbsConfig(seed=3)).fit(example_matrix)
+        assert g1.source_accuracy == g2.source_accuracy
+
+    def test_different_seed_different_samples(self, example_matrix):
+        cfg = MultiLayerConfig()
+        g1 = GibbsMultiLayer(cfg, GibbsConfig(seed=3)).fit(example_matrix)
+        g2 = GibbsMultiLayer(cfg, GibbsConfig(seed=4)).fit(example_matrix)
+        assert g1.source_accuracy != g2.source_accuracy
+
+    def test_agrees_with_em_on_synthetic_accuracy(self, synthetic):
+        """Gibbs and EM must broadly agree about which sources are good."""
+        obs = ObservationMatrix.from_records(synthetic.records)
+        cfg = MultiLayerConfig(absence_scope=AbsenceScope.ACTIVE)
+        em = MultiLayerModel(cfg).fit(obs)
+        gibbs = GibbsMultiLayer(
+            cfg, GibbsConfig(seed=1, burn_in=15, samples=30)
+        ).fit(obs)
+        em_loss = sq_accuracy_loss(em.source_accuracy,
+                                   synthetic.true_accuracy)
+        gibbs_loss = sq_accuracy_loss(gibbs.source_accuracy,
+                                      synthetic.true_accuracy)
+        # Both engines must land in a sane region; Gibbs may be noisier.
+        assert gibbs_loss < max(3 * em_loss, 0.15)
+
+    def test_value_agreement_with_em_on_confident_items(self, synthetic):
+        """The two engines may differ on genuinely contested items; on
+        items where EM is confident they must agree."""
+        obs = ObservationMatrix.from_records(synthetic.records)
+        cfg = MultiLayerConfig(absence_scope=AbsenceScope.ACTIVE)
+        em = MultiLayerModel(cfg).fit(obs)
+        gibbs = GibbsMultiLayer(
+            cfg, GibbsConfig(seed=1, burn_in=15, samples=30)
+        ).fit(obs)
+        agree = 0
+        total = 0
+        for item in synthetic.true_values:
+            em_best = em.most_probable_value(item)
+            gibbs_best = gibbs.most_probable_value(item)
+            if em_best is None or gibbs_best is None:
+                continue
+            if em.triple_probability(item, em_best) < 0.8:
+                continue
+            total += 1
+            if em_best == gibbs_best:
+                agree += 1
+        assert total > 20
+        assert agree / total > 0.85

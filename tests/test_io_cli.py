@@ -1,0 +1,144 @@
+"""Unit tests for JSONL/CSV serialisation and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.kbt import KBTScore
+from repro.core.types import (
+    DataItem,
+    ExtractionRecord,
+    ExtractorKey,
+    SourceKey,
+)
+from repro.io.jsonl import (
+    read_records,
+    record_from_dict,
+    record_to_dict,
+    write_records,
+)
+from repro.io.reports import write_score_csv
+
+
+def sample_records():
+    return [
+        ExtractionRecord(
+            extractor=ExtractorKey(("sys", "pat", "capital", "geo.example")),
+            source=SourceKey(("geo.example", "capital", "geo.example/fr")),
+            item=DataItem("france", "capital"),
+            value="paris",
+            confidence=0.9,
+        ),
+        ExtractionRecord(
+            extractor=ExtractorKey(("sys",)),
+            source=SourceKey(("num.example",), bucket=2),
+            item=DataItem("france", "population"),
+            value=67.5,
+        ),
+    ]
+
+
+class TestJsonlRoundtrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        originals = sample_records()
+        assert write_records(originals, path) == 2
+        loaded = list(read_records(path))
+        assert loaded == originals
+
+    def test_dict_roundtrip_preserves_buckets(self):
+        record = sample_records()[1]
+        assert record_from_dict(record_to_dict(record)) == record
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        record = sample_records()[0]
+        path.write_text(
+            json.dumps(record_to_dict(record)) + "\n\n\n", encoding="utf-8"
+        )
+        assert list(read_records(path)) == [record]
+
+    def test_invalid_json_reported_with_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            list(read_records(path))
+
+    def test_missing_field_reported(self):
+        with pytest.raises(ValueError, match="malformed record"):
+            record_from_dict({"subject": "x"})
+
+    def test_numeric_values_survive(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        write_records(sample_records(), path)
+        loaded = list(read_records(path))
+        assert loaded[1].value == 67.5
+
+
+class TestScoreCsv:
+    def test_sorted_output(self, tmp_path):
+        path = tmp_path / "scores.csv"
+        scores = {
+            "b.com": KBTScore("b.com", 0.5, 10.0),
+            "a.com": KBTScore("a.com", 0.9, 7.0),
+        }
+        assert write_score_csv(scores, path) == 2
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "key,kbt,support"
+        assert lines[1].startswith("a.com,0.9")
+
+    def test_tuple_keys_joined(self, tmp_path):
+        path = tmp_path / "scores.csv"
+        scores = {
+            ("a.com", "a.com/p"): KBTScore(("a.com", "a.com/p"), 0.7, 6.0)
+        }
+        write_score_csv(scores, path)
+        assert "a.com|a.com/p" in path.read_text()
+
+
+class TestCli:
+    def test_demo_then_estimate(self, tmp_path, capsys):
+        demo_path = tmp_path / "demo.jsonl"
+        scores_path = tmp_path / "scores.csv"
+        assert main([
+            "demo", str(demo_path), "--websites", "30", "--systems", "4",
+            "--items-per-predicate", "15", "--seed", "5",
+        ]) == 0
+        assert demo_path.exists()
+        assert main([
+            "estimate", str(demo_path), "-o", str(scores_path),
+            "--top", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "KBT for" in out
+        assert scores_path.exists()
+        header = scores_path.read_text().splitlines()[0]
+        assert header == "key,kbt,support"
+
+    def test_estimate_with_split_merge(self, tmp_path):
+        demo_path = tmp_path / "demo.jsonl"
+        main(["demo", str(demo_path), "--websites", "30", "--systems", "4",
+              "--items-per-predicate", "15", "--seed", "5"])
+        assert main([
+            "estimate", str(demo_path), "--split-merge",
+            "--min-size", "3", "--max-size", "500",
+        ]) == 0
+
+    def test_estimate_empty_file_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        assert main(["estimate", str(empty)]) == 1
+        assert "no records" in capsys.readouterr().err
+
+    def test_estimate_threshold_too_high_fails(self, tmp_path, capsys):
+        path = tmp_path / "one.jsonl"
+        write_records(sample_records()[:1], path)
+        assert main(
+            ["estimate", str(path), "--min-triples", "100"]
+        ) == 1
+        assert "support threshold" in capsys.readouterr().err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,133 @@
+"""Unit tests for KBT facade internals and the weighting support helper."""
+
+import pytest
+
+from repro.core.config import MultiLayerConfig
+from repro.core.kbt import KBTReport, KBTScore, _transfer_initialisation
+from repro.core.multi_layer import MultiLayerModel
+from repro.core.observation import ObservationMatrix
+from repro.core.types import (
+    DataItem,
+    ExtractionRecord,
+    ExtractorKey,
+    SourceKey,
+    page_source,
+)
+from repro.core.weighting import weighted_support
+
+
+class TestTransferInitialisation:
+    def test_exact_key_wins(self):
+        key = SourceKey(("site", "p", "url"))
+        out = _transfer_initialisation({key: 0.9}, [key])
+        assert out == {key: 0.9}
+
+    def test_bucketed_key_inherits_from_unsplit_parent(self):
+        key = SourceKey(("site",))
+        bucket = key.child_bucket(3)
+        out = _transfer_initialisation({key: 0.7}, [bucket])
+        assert out[bucket] == 0.7
+
+    def test_merged_key_inherits_from_ancestor(self):
+        fine = SourceKey(("site", "p", "url"))
+        merged = SourceKey(("site",))
+        # The merged key is its own ancestor; initial values keyed by the
+        # *merged* key transfer, fine-grained ones do not (ambiguous).
+        out = _transfer_initialisation({merged: 0.6}, [merged])
+        assert out[merged] == 0.6
+        out2 = _transfer_initialisation({fine: 0.6}, [merged])
+        assert merged not in out2
+
+    def test_unrelated_keys_skipped(self):
+        out = _transfer_initialisation(
+            {SourceKey(("other",)): 0.9}, [SourceKey(("site",))]
+        )
+        assert out == {}
+
+
+class TestKBTReportAggregation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        records = []
+        for site, url, accuracy_value in (
+            ("a.com", "a.com/1", "right"),
+            ("a.com", "a.com/2", "right"),
+            ("b.com", "b.com/1", "wrong"),
+        ):
+            for i in range(8):
+                records.append(
+                    ExtractionRecord(
+                        extractor=ExtractorKey(("e",)),
+                        source=page_source(site, "p", url),
+                        item=DataItem(f"s{i}", "p"),
+                        value=f"{accuracy_value}-{i}",
+                    )
+                )
+        # corroboration for 'right' values from independent sites
+        for site in ("c.com", "d.com"):
+            for i in range(8):
+                records.append(
+                    ExtractionRecord(
+                        extractor=ExtractorKey(("e",)),
+                        source=page_source(site, "p", f"{site}/x"),
+                        item=DataItem(f"s{i}", "p"),
+                        value=f"right-{i}",
+                    )
+                )
+        obs = ObservationMatrix.from_records(records)
+        result = MultiLayerModel(MultiLayerConfig()).fit(obs)
+        return KBTReport(result, min_triples=5.0)
+
+    def test_website_scores_aggregate_pages(self, report):
+        scores = report.website_scores()
+        assert scores["a.com"].support == pytest.approx(16.0, abs=2.0)
+        assert scores["a.com"].score > scores["b.com"].score
+
+    def test_webpage_scores_have_page_keys(self, report):
+        pages = report.webpage_scores()
+        assert ("a.com", "a.com/1") in pages
+        assert ("a.com", "a.com/2") in pages
+
+    def test_source_scores_respect_threshold(self, report):
+        for score in report.source_scores().values():
+            assert score.support >= 5.0
+
+    def test_score_dataclass(self):
+        score = KBTScore("x", 0.5, 7.0)
+        assert score.key == "x"
+        assert score.score == 0.5
+
+
+class TestWeightedSupport:
+    def test_unit_weights_match_expected_triples(self):
+        records = [
+            ExtractionRecord(
+                extractor=ExtractorKey(("e",)),
+                source=SourceKey(("w",)),
+                item=DataItem(f"s{i}", "p"),
+                value="v",
+            )
+            for i in range(4)
+        ]
+        obs = ObservationMatrix.from_records(records)
+        result = MultiLayerModel(MultiLayerConfig()).fit(obs)
+        assert weighted_support(result) == pytest.approx(
+            result.expected_triples_by_source()
+        )
+
+    def test_predicate_weights_scale_mass(self):
+        records = [
+            ExtractionRecord(
+                extractor=ExtractorKey(("e",)),
+                source=SourceKey(("w",)),
+                item=DataItem(f"s{i}", "p"),
+                value="v",
+            )
+            for i in range(4)
+        ]
+        obs = ObservationMatrix.from_records(records)
+        result = MultiLayerModel(MultiLayerConfig()).fit(obs)
+        halved = weighted_support(result, predicate_weights={"p": 0.5})
+        full = weighted_support(result)
+        for source in full:
+            assert halved[source] == pytest.approx(0.5 * full[source])

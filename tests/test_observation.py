@@ -1,0 +1,147 @@
+"""Unit tests for the sparse observation matrix and its indexes."""
+
+from repro.core.observation import ObservationMatrix
+from repro.core.types import (
+    DataItem,
+    ExtractionRecord,
+    ExtractorKey,
+    SourceKey,
+)
+
+
+def record(e, w, s, p, v, conf=1.0):
+    return ExtractionRecord(
+        extractor=ExtractorKey((e,)),
+        source=SourceKey((w,)),
+        item=DataItem(s, p),
+        value=v,
+        confidence=conf,
+    )
+
+
+def small_matrix():
+    return ObservationMatrix.from_records(
+        [
+            record("e1", "w1", "s1", "p", "a"),
+            record("e2", "w1", "s1", "p", "a", conf=0.5),
+            record("e1", "w2", "s1", "p", "b"),
+            record("e2", "w2", "s2", "p", "c"),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_counts(self):
+        m = small_matrix()
+        assert m.num_records == 4
+        assert m.num_cells == 3
+        assert m.num_sources == 2
+        assert m.num_extractors == 2
+        assert m.num_items == 2
+        assert m.num_triples == 3  # (s1,p,a), (s1,p,b), (s2,p,c)
+
+    def test_cell_contents(self):
+        m = small_matrix()
+        cell = m.cell((SourceKey(("w1",)), DataItem("s1", "p"), "a"))
+        assert cell == {
+            ExtractorKey(("e1",)): 1.0,
+            ExtractorKey(("e2",)): 0.5,
+        }
+
+    def test_missing_cell_is_empty(self):
+        m = small_matrix()
+        assert m.cell((SourceKey(("w9",)), DataItem("s1", "p"), "a")) == {}
+
+    def test_duplicate_keeps_max_confidence(self):
+        m = ObservationMatrix.from_records(
+            [
+                record("e1", "w1", "s1", "p", "a", conf=0.3),
+                record("e1", "w1", "s1", "p", "a", conf=0.9),
+                record("e1", "w1", "s1", "p", "a", conf=0.5),
+            ]
+        )
+        cell = m.cell((SourceKey(("w1",)), DataItem("s1", "p"), "a"))
+        assert cell[ExtractorKey(("e1",))] == 0.9
+        assert m.num_records == 3
+        assert m.num_cells == 1
+
+
+class TestIndexes:
+    def test_values_for_item(self):
+        m = small_matrix()
+        values = m.values_for_item(DataItem("s1", "p"))
+        assert set(values) == {"a", "b"}
+        assert values["a"] == {SourceKey(("w1",))}
+        assert values["b"] == {SourceKey(("w2",))}
+
+    def test_source_claims(self):
+        m = small_matrix()
+        assert m.source_claims(SourceKey(("w2",))) == [
+            (DataItem("s1", "p"), "b"),
+            (DataItem("s2", "p"), "c"),
+        ]
+
+    def test_extractor_cells(self):
+        m = small_matrix()
+        cells = m.extractor_cells(ExtractorKey(("e2",)))
+        assert len(cells) == 2
+
+    def test_active_extractors(self):
+        m = small_matrix()
+        assert m.active_extractors(SourceKey(("w1",))) == {
+            ExtractorKey(("e1",)),
+            ExtractorKey(("e2",)),
+        }
+        assert m.active_extractors(SourceKey(("w9",))) == set()
+
+    def test_triples_enumeration(self):
+        m = small_matrix()
+        assert set(m.triples()) == {
+            (DataItem("s1", "p"), "a"),
+            (DataItem("s1", "p"), "b"),
+            (DataItem("s2", "p"), "c"),
+        }
+
+    def test_sizes(self):
+        m = small_matrix()
+        assert m.source_sizes() == {
+            SourceKey(("w1",)): 1,
+            SourceKey(("w2",)): 2,
+        }
+        assert m.extractor_sizes()[ExtractorKey(("e1",))] == 2
+
+
+class TestRelabel:
+    def test_identity_relabel_preserves_everything(self):
+        m = small_matrix()
+        m2 = m.relabel()
+        assert m2.num_cells == m.num_cells
+        assert set(m2.triples()) == set(m.triples())
+
+    def test_source_relabel_merges(self):
+        m = small_matrix()
+        merged_key = SourceKey(("all",))
+        m2 = m.relabel(source_map=lambda w, d, v: merged_key)
+        assert m2.num_sources == 1
+        assert m2.source_sizes()[merged_key] == 3
+
+    def test_extractor_relabel(self):
+        m = small_matrix()
+        key = ExtractorKey(("merged",))
+        m2 = m.relabel(extractor_map=lambda e, d, v: key)
+        assert m2.num_extractors == 1
+
+    def test_relabel_can_split_by_value(self):
+        m = small_matrix()
+
+        def by_value(w, d, v):
+            return w.child_bucket(0 if v in ("a", "b") else 1)
+
+        m2 = m.relabel(source_map=by_value)
+        assert m2.num_sources == 3  # w1#0, w2#0, w2#1
+
+    def test_relabel_preserves_confidences(self):
+        m = small_matrix()
+        m2 = m.relabel()
+        cell = m2.cell((SourceKey(("w1",)), DataItem("s1", "p"), "a"))
+        assert cell[ExtractorKey(("e2",))] == 0.5

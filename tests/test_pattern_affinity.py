@@ -1,0 +1,44 @@
+"""Unit tests for pattern site-affinity (the Figure 5 long-tail mechanism)."""
+
+import pytest
+
+from repro.extraction.patterns import PatternProfile
+
+
+class TestAppliesTo:
+    def test_full_affinity_matches_everything(self):
+        pattern = PatternProfile("p0", "capital", site_affinity=1.0)
+        assert all(
+            pattern.applies_to(f"site{i}.example") for i in range(50)
+        )
+
+    def test_deterministic(self):
+        pattern = PatternProfile("p1", "capital", site_affinity=0.3)
+        first = [pattern.applies_to(f"s{i}") for i in range(100)]
+        second = [pattern.applies_to(f"s{i}") for i in range(100)]
+        assert first == second
+
+    def test_match_rate_tracks_affinity(self):
+        pattern = PatternProfile("p2", "capital", site_affinity=0.2)
+        sites = [f"site{i}.example" for i in range(2000)]
+        rate = sum(pattern.applies_to(s) for s in sites) / len(sites)
+        assert rate == pytest.approx(0.2, abs=0.04)
+
+    def test_different_patterns_match_different_sites(self):
+        a = PatternProfile("pa", "capital", site_affinity=0.5)
+        b = PatternProfile("pb", "capital", site_affinity=0.5)
+        sites = [f"site{i}" for i in range(300)]
+        matches_a = {s for s in sites if a.applies_to(s)}
+        matches_b = {s for s in sites if b.applies_to(s)}
+        assert matches_a != matches_b
+
+    def test_narrow_pattern_rarely_fires(self):
+        pattern = PatternProfile("p3", "capital", site_affinity=0.01)
+        sites = [f"site{i}" for i in range(1000)]
+        assert sum(pattern.applies_to(s) for s in sites) < 40
+
+    def test_affinity_validated(self):
+        with pytest.raises(ValueError):
+            PatternProfile("p", "x", site_affinity=0.0)
+        with pytest.raises(ValueError):
+            PatternProfile("p", "x", site_affinity=1.5)

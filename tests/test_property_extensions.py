@@ -1,0 +1,137 @@
+"""Property-based tests for copy detection and serialisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.copydetect.detector import CopyDetector
+from repro.copydetect.evidence import OverlapEvidence
+from repro.core.types import (
+    DataItem,
+    ExtractionRecord,
+    ExtractorKey,
+    SourceKey,
+)
+from repro.io.jsonl import record_from_dict, record_to_dict
+
+accuracies = st.floats(min_value=0.05, max_value=0.95)
+counts = st.integers(min_value=0, max_value=50)
+
+
+@st.composite
+def evidences(draw):
+    shared_true = draw(counts)
+    shared_false = draw(counts)
+    differ = draw(counts)
+    # At least one overlapping item.
+    if shared_true + shared_false + differ == 0:
+        shared_true = 1
+    return OverlapEvidence(
+        source_a=SourceKey(("a",)),
+        source_b=SourceKey(("b",)),
+        shared_true=shared_true,
+        shared_false=shared_false,
+        differ=differ,
+        only_a=draw(counts),
+        only_b=draw(counts),
+    )
+
+
+class TestDetectorProperties:
+    @given(evidences(), accuracies, accuracies)
+    @settings(max_examples=200)
+    def test_probability_is_valid(self, evidence, a, b):
+        p = CopyDetector(n=10).dependence_probability(evidence, a, b)
+        assert 0.0 <= p <= 1.0
+
+    @given(evidences(), accuracies, accuracies)
+    @settings(max_examples=100)
+    def test_more_shared_false_never_lowers_probability(
+        self, evidence, a, b
+    ):
+        detector = CopyDetector(n=10)
+        p1 = detector.dependence_probability(evidence, a, b)
+        boosted = OverlapEvidence(
+            evidence.source_a,
+            evidence.source_b,
+            evidence.shared_true,
+            evidence.shared_false + 5,
+            evidence.differ,
+            evidence.only_a,
+            evidence.only_b,
+        )
+        p2 = detector.dependence_probability(boosted, a, b)
+        assert p2 >= p1 - 1e-9
+
+    @given(evidences(), accuracies, accuracies)
+    @settings(max_examples=100)
+    def test_more_disagreement_never_raises_probability(
+        self, evidence, a, b
+    ):
+        detector = CopyDetector(n=10)
+        p1 = detector.dependence_probability(evidence, a, b)
+        boosted = OverlapEvidence(
+            evidence.source_a,
+            evidence.source_b,
+            evidence.shared_true,
+            evidence.shared_false,
+            evidence.differ + 5,
+            evidence.only_a,
+            evidence.only_b,
+        )
+        p2 = detector.dependence_probability(boosted, a, b)
+        assert p2 <= p1 + 1e-9
+
+    @given(evidences(), accuracies, accuracies)
+    @settings(max_examples=100)
+    def test_verdict_picks_one_of_the_pair(self, evidence, a, b):
+        verdict = CopyDetector(n=10).verdict(evidence, a, b)
+        pair = {evidence.source_a, evidence.source_b}
+        assert {verdict.copier, verdict.original} == pair
+
+
+@st.composite
+def records(draw):
+    extractor_features = tuple(
+        draw(st.text(min_size=1, max_size=6))
+        for _ in range(draw(st.integers(1, 4)))
+    )
+    source_features = tuple(
+        draw(st.text(min_size=1, max_size=6))
+        for _ in range(draw(st.integers(1, 3)))
+    )
+    value = draw(
+        st.one_of(
+            st.text(min_size=1, max_size=8),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.integers(min_value=-10**9, max_value=10**9),
+        )
+    )
+    return ExtractionRecord(
+        extractor=ExtractorKey(
+            extractor_features,
+            bucket=draw(st.one_of(st.none(), st.integers(0, 5))),
+        ),
+        source=SourceKey(
+            source_features,
+            bucket=draw(st.one_of(st.none(), st.integers(0, 5))),
+        ),
+        item=DataItem(
+            draw(st.text(min_size=1, max_size=8)),
+            draw(st.text(min_size=1, max_size=8)),
+        ),
+        value=value,
+        confidence=draw(st.floats(min_value=0.01, max_value=1.0)),
+    )
+
+
+class TestJsonlProperties:
+    @given(records())
+    @settings(max_examples=200)
+    def test_dict_roundtrip_is_identity(self, record):
+        restored = record_from_dict(record_to_dict(record))
+        assert restored.extractor == record.extractor
+        assert restored.source == record.source
+        assert restored.item == record.item
+        assert restored.value == record.value
+        assert restored.confidence == pytest.approx(record.confidence)

@@ -1,0 +1,93 @@
+"""Property-based tests of SPLITANDMERGE invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import GranularityConfig
+from repro.core.granularity import SplitAndMerge
+from repro.core.types import DataItem, SourceKey
+
+
+@st.composite
+def source_groups(draw):
+    """Random groups of finest-granularity sources with owned triples."""
+    num_sites = draw(st.integers(1, 4))
+    groups = {}
+    counter = 0
+    for s in range(num_sites):
+        num_keys = draw(st.integers(1, 6))
+        for k in range(num_keys):
+            key = SourceKey((f"site{s}", f"p{k % 3}", f"url{k}"))
+            size = draw(st.integers(1, 40))
+            refs = []
+            for _ in range(size):
+                refs.append((key, DataItem(f"s{counter}", "p"), "v"))
+                counter += 1
+            groups[key] = refs
+    return groups
+
+
+@st.composite
+def bounds(draw):
+    m = draw(st.integers(1, 6))
+    big = draw(st.integers(m * 2, m * 2 + 50))
+    return GranularityConfig(min_size=m, max_size=big)
+
+
+class TestPlanInvariants:
+    @given(source_groups(), bounds())
+    @settings(max_examples=60, deadline=None)
+    def test_every_triple_assigned_exactly_once(self, groups, config):
+        plan = SplitAndMerge(config).plan(groups)
+        total = sum(len(refs) for refs in groups.values())
+        assert len(plan.mapping) == total
+
+    @given(source_groups(), bounds())
+    @settings(max_examples=60, deadline=None)
+    def test_no_final_key_exceeds_max(self, groups, config):
+        plan = SplitAndMerge(config).plan(groups)
+        for size in plan.final_sizes().values():
+            assert size <= config.max_size
+
+    @given(source_groups(), bounds())
+    @settings(max_examples=60, deadline=None)
+    def test_small_final_keys_only_at_hierarchy_top_or_after_split(
+        self, groups, config
+    ):
+        """A final key below min_size must be a website-level key (merging
+        exhausted the hierarchy) or a split bucket (splits go straight to
+        the output)."""
+        plan = SplitAndMerge(config).plan(groups)
+        for key, size in plan.final_sizes().items():
+            if size < config.min_size:
+                assert key.level == 1 or key.bucket is not None
+
+    @given(source_groups(), bounds())
+    @settings(max_examples=60, deadline=None)
+    def test_final_keys_are_ancestors_or_buckets(self, groups, config):
+        """Every triple's final key must lie on its original key's ancestry
+        chain (possibly as a split bucket of an ancestor)."""
+        plan = SplitAndMerge(config).plan(groups)
+        for (original, _item, _value), final in plan.mapping.items():
+            ancestors = []
+            probe = original
+            while probe is not None:
+                ancestors.append(probe.features)
+                probe = probe.parent()
+            assert final.features in ancestors
+
+    @given(source_groups(), bounds())
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent_on_own_output(self, groups, config):
+        """Re-planning the final grouping must not change it further,
+        except for splitting freshly merged oversized keys (which the
+        first pass already handled) — i.e. a fixed point."""
+        plan = SplitAndMerge(config).plan(groups)
+        regrouped = {}
+        for (original, item, value), final in plan.mapping.items():
+            regrouped.setdefault(final, []).append((final, item, value))
+        second = SplitAndMerge(config).plan(
+            {k: refs for k, refs in regrouped.items() if k.bucket is None}
+        )
+        for size in second.final_sizes().values():
+            assert size <= config.max_size

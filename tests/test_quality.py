@@ -1,0 +1,82 @@
+"""Unit tests for extractor quality and the Eq. 7 Q derivation."""
+
+import math
+
+import pytest
+
+from repro.core.quality import ExtractorQuality, derive_q
+
+
+class TestDeriveQ:
+    def test_table_3_e3(self):
+        # gamma=0.25, P=0.85, R=0.99 -> Q ~ 0.058 (Table 3 reports 0.06).
+        assert derive_q(0.85, 0.99, 0.25) == pytest.approx(0.0582, abs=1e-3)
+
+    def test_table_3_e4(self):
+        assert derive_q(0.33, 0.33, 0.25) == pytest.approx(0.2233, abs=1e-3)
+
+    def test_table_3_e5(self):
+        assert derive_q(0.25, 0.17, 0.25) == pytest.approx(0.17, abs=1e-3)
+
+    def test_higher_precision_lower_q(self):
+        assert derive_q(0.95, 0.5, 0.25) < derive_q(0.5, 0.5, 0.25)
+
+    def test_higher_recall_higher_q(self):
+        assert derive_q(0.8, 0.9, 0.25) > derive_q(0.8, 0.3, 0.25)
+
+    def test_clamped_into_open_interval(self):
+        assert derive_q(0.0001, 0.9999, 0.9) <= 1.0 - 1e-4
+        assert derive_q(0.9999, 0.0001, 0.1) >= 1e-4
+
+    def test_gamma_validated(self):
+        with pytest.raises(ValueError):
+            derive_q(0.8, 0.8, 0.0)
+        with pytest.raises(ValueError):
+            derive_q(0.8, 0.8, 1.0)
+
+
+class TestExtractorQuality:
+    def test_presence_vote_formula(self):
+        q = ExtractorQuality(precision=0.9, recall=0.8, q=0.1)
+        assert q.presence_vote == pytest.approx(math.log(0.8 / 0.1))
+
+    def test_absence_vote_formula(self):
+        q = ExtractorQuality(precision=0.9, recall=0.8, q=0.1)
+        assert q.absence_vote == pytest.approx(math.log(0.2 / 0.9))
+
+    def test_table_3_votes(self):
+        # The paper's Table 3: Pre/Abs per extractor, rounded.
+        expectations = [
+            (0.99, 0.99, 0.01, 4.6, -4.6),
+            (0.99, 0.50, 0.01, 3.9, -0.7),
+            (0.85, 0.99, 0.06, 2.8, -4.5),
+            (0.33, 0.33, 0.22, 0.4, -0.15),
+            (0.25, 0.17, 0.17, 0.0, 0.0),
+        ]
+        for p, r, q, pre, absent in expectations:
+            quality = ExtractorQuality(precision=p, recall=r, q=q)
+            assert quality.presence_vote == pytest.approx(pre, abs=0.06)
+            assert quality.absence_vote == pytest.approx(absent, abs=0.06)
+
+    def test_useless_extractor_votes_zero(self):
+        # R == Q: extraction carries no information either way.
+        q = ExtractorQuality(precision=0.5, recall=0.3, q=0.3)
+        assert q.presence_vote == pytest.approx(0.0)
+        assert q.absence_vote == pytest.approx(0.0)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ExtractorQuality(precision=0.0, recall=0.5, q=0.5)
+        with pytest.raises(ValueError):
+            ExtractorQuality(precision=0.5, recall=1.0, q=0.5)
+        with pytest.raises(ValueError):
+            ExtractorQuality(precision=0.5, recall=0.5, q=0.0)
+
+    def test_from_precision_recall_derives_q(self):
+        quality = ExtractorQuality.from_precision_recall(0.85, 0.99, 0.25)
+        assert quality.q == pytest.approx(derive_q(0.85, 0.99, 0.25))
+
+    def test_from_precision_recall_clamps_extremes(self):
+        quality = ExtractorQuality.from_precision_recall(1.0, 1.0, 0.25)
+        assert 0.0 < quality.precision < 1.0
+        assert 0.0 < quality.recall < 1.0

@@ -1,0 +1,94 @@
+"""Unit tests for deterministic stream derivation and samplers."""
+
+import pytest
+
+from repro.util.rng import derive_rng, pareto_int, weighted_choice, zipf_sizes
+
+
+class TestDeriveRng:
+    def test_same_labels_same_stream(self):
+        a = derive_rng(42, "x", 1)
+        b = derive_rng(42, "x", 1)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_labels_different_stream(self):
+        a = derive_rng(42, "x")
+        b = derive_rng(42, "y")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_different_stream(self):
+        a = derive_rng(1, "x")
+        b = derive_rng(2, "x")
+        assert a.random() != b.random()
+
+    def test_label_types_distinguished(self):
+        assert derive_rng(0, 1).random() != derive_rng(0, "1").random()
+
+
+class TestZipfSizes:
+    def test_count_and_bounds(self):
+        sizes = zipf_sizes(derive_rng(0, "z"), 500, exponent=1.1,
+                           minimum=1, maximum=1000)
+        assert len(sizes) == 500
+        assert all(1 <= s <= 1000 for s in sizes)
+
+    def test_heavy_tail_shape(self):
+        sizes = zipf_sizes(derive_rng(0, "z"), 5000, exponent=1.1, minimum=1)
+        small = sum(1 for s in sizes if s < 5)
+        # The Figure 5 long tail: most entities are tiny, a few are huge.
+        assert small / len(sizes) > 0.5
+        assert max(sizes) > 50
+
+    def test_zero_count(self):
+        assert zipf_sizes(derive_rng(0, "z"), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_sizes(derive_rng(0, "z"), -1)
+
+    def test_bad_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_sizes(derive_rng(0, "z"), 10, exponent=0.0)
+
+
+class TestParetoInt:
+    def test_respects_bounds(self):
+        rng = derive_rng(0, "p")
+        for _ in range(200):
+            value = pareto_int(rng, alpha=1.5, minimum=2, maximum=50)
+            assert 2 <= value <= 50
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_int(derive_rng(0, "p"), alpha=0.0)
+
+
+class TestWeightedChoice:
+    def test_single_item(self):
+        assert weighted_choice(derive_rng(0, "w"), ["a"], [1.0]) == "a"
+
+    def test_zero_weight_never_chosen(self):
+        rng = derive_rng(0, "w")
+        picks = {
+            weighted_choice(rng, ["a", "b"], [0.0, 1.0]) for _ in range(100)
+        }
+        assert picks == {"b"}
+
+    def test_roughly_proportional(self):
+        rng = derive_rng(0, "w")
+        counts = {"a": 0, "b": 0}
+        for _ in range(4000):
+            counts[weighted_choice(rng, ["a", "b"], [3.0, 1.0])] += 1
+        assert 0.65 < counts["a"] / 4000 < 0.85
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(derive_rng(0, "w"), ["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(derive_rng(0, "w"), [], [])
+
+    def test_nonpositive_total_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(derive_rng(0, "w"), ["a"], [0.0])

@@ -1,0 +1,162 @@
+"""Unit tests for the single-layer (knowledge fusion) baseline."""
+
+import pytest
+
+from repro.core.config import (
+    ConvergenceConfig,
+    FalseValueModel,
+    SingleLayerConfig,
+)
+from repro.core.observation import ObservationMatrix
+from repro.core.single_layer import SingleLayerModel, default_provenance
+from repro.core.types import (
+    DataItem,
+    ExtractionRecord,
+    ExtractorKey,
+    SourceKey,
+)
+
+
+def record(e, w, s, p, v):
+    return ExtractionRecord(
+        extractor=ExtractorKey((e,)),
+        source=SourceKey((w,)),
+        item=DataItem(s, p),
+        value=v,
+    )
+
+
+def majority_matrix():
+    """Three provenances say 'a', one says 'b', for the same item; every
+    provenance also has corroborated claims elsewhere so accuracies move."""
+    records = []
+    for w in ("w1", "w2", "w3"):
+        records.append(record("e1", w, "s", "p", "a"))
+        records.append(record("e1", w, "s2", "p", "x"))
+    records.append(record("e1", "w4", "s", "p", "b"))
+    records.append(record("e1", "w4", "s2", "p", "x"))
+    return ObservationMatrix.from_records(records)
+
+
+class TestFitBasics:
+    def test_majority_value_wins(self):
+        result = SingleLayerModel(SingleLayerConfig(n=10)).fit(
+            majority_matrix()
+        )
+        item = DataItem("s", "p")
+        assert result.most_probable_value(item) == "a"
+        assert result.triple_probability(item, "a") > result.triple_probability(
+            item, "b"
+        )
+
+    def test_posteriors_within_unit_interval(self):
+        result = SingleLayerModel(SingleLayerConfig(n=10)).fit(
+            majority_matrix()
+        )
+        for values in result.value_posteriors.values():
+            for p in values.values():
+                assert 0.0 <= p <= 1.0
+
+    def test_minority_provenance_loses_accuracy(self):
+        result = SingleLayerModel(SingleLayerConfig(n=10)).fit(
+            majority_matrix()
+        )
+        acc = result.provenance_accuracy
+        w1 = acc[(ExtractorKey(("e1",)), SourceKey(("w1",)))]
+        w4 = acc[(ExtractorKey(("e1",)), SourceKey(("w4",)))]
+        assert w1 > w4
+
+    def test_iterates_until_stable(self):
+        cfg = SingleLayerConfig(
+            n=10, convergence=ConvergenceConfig(max_iterations=20)
+        )
+        result = SingleLayerModel(cfg).fit(majority_matrix())
+        assert result.iterations_run <= 20
+        assert result.history[-1].max_delta < 1e-3
+
+    def test_full_coverage_when_all_participate(self):
+        result = SingleLayerModel(
+            SingleLayerConfig(n=10, min_source_support=1)
+        ).fit(majority_matrix())
+        assert result.coverage == pytest.approx(1.0)
+
+
+class TestSupportFiltering:
+    def test_below_support_provenances_excluded(self):
+        # w4's provenance has 2 claims; with support 3 it cannot vote.
+        cfg = SingleLayerConfig(n=10, min_source_support=3)
+        result = SingleLayerModel(cfg).fit(majority_matrix())
+        assert (ExtractorKey(("e1",)), SourceKey(("w4",))) not in (
+            result.participating
+        )
+        # The 'b' claim of item s is then uncovered.
+        assert result.triple_probability(DataItem("s", "p"), "b") is None
+        assert result.coverage < 1.0
+
+    def test_excluded_provenance_keeps_default_accuracy(self):
+        cfg = SingleLayerConfig(n=10, min_source_support=3)
+        result = SingleLayerModel(cfg).fit(majority_matrix())
+        acc = result.provenance_accuracy[
+            (ExtractorKey(("e1",)), SourceKey(("w4",)))
+        ]
+        assert acc == cfg.default_accuracy
+
+
+class TestInitialisation:
+    def test_smart_init_changes_starting_point(self):
+        prov = (ExtractorKey(("e1",)), SourceKey(("w4",)))
+        cfg = SingleLayerConfig(
+            n=10, convergence=ConvergenceConfig(max_iterations=1)
+        )
+        low = SingleLayerModel(cfg).fit(
+            majority_matrix(), initial_accuracy={prov: 0.05}
+        )
+        high = SingleLayerModel(cfg).fit(
+            majority_matrix(), initial_accuracy={prov: 0.95}
+        )
+        item = DataItem("s", "p")
+        assert low.triple_probability(item, "b") < high.triple_probability(
+            item, "b"
+        )
+
+    def test_unknown_provenances_in_init_ignored(self):
+        result = SingleLayerModel(SingleLayerConfig(n=10)).fit(
+            majority_matrix(),
+            initial_accuracy={("ghost", "prov"): 0.99},
+        )
+        assert ("ghost", "prov") not in result.provenance_accuracy
+
+
+class TestPopAccu:
+    def test_popaccu_still_finds_majority(self):
+        cfg = SingleLayerConfig(
+            n=10, false_value_model=FalseValueModel.POPACCU
+        )
+        result = SingleLayerModel(cfg).fit(majority_matrix())
+        assert result.most_probable_value(DataItem("s", "p")) == "a"
+
+    def test_popaccu_differs_from_accu(self):
+        accu = SingleLayerModel(SingleLayerConfig(n=10)).fit(majority_matrix())
+        pop = SingleLayerModel(
+            SingleLayerConfig(n=10, false_value_model=FalseValueModel.POPACCU)
+        ).fit(majority_matrix())
+        item = DataItem("s", "p")
+        assert accu.triple_probability(item, "a") != pytest.approx(
+            pop.triple_probability(item, "a"), abs=1e-12
+        )
+
+
+class TestProvenanceFn:
+    def test_default_provenance_is_pair(self):
+        e = ExtractorKey(("e1",))
+        w = SourceKey(("w1",))
+        assert default_provenance(e, w) == (e, w)
+
+    def test_custom_provenance_merges_extractors(self):
+        # Collapse everything onto the source: provenance = source only.
+        model = SingleLayerModel(
+            SingleLayerConfig(n=10),
+            provenance_fn=lambda e, w: w,
+        )
+        result = model.fit(majority_matrix())
+        assert SourceKey(("w1",)) in result.provenance_accuracy

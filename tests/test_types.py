@@ -1,0 +1,120 @@
+"""Unit tests for the core type system (keys, hierarchy, records)."""
+
+import pytest
+
+from repro.core.types import (
+    DataItem,
+    ExtractionRecord,
+    ExtractorKey,
+    SourceKey,
+    Triple,
+    page_source,
+    pattern_extractor,
+    website_source,
+)
+
+
+class TestDataItemAndTriple:
+    def test_triple_item_roundtrip(self):
+        triple = Triple("obama", "nationality", "USA")
+        assert triple.item == DataItem("obama", "nationality")
+        assert triple.value == "USA"
+
+    def test_items_hashable_and_equal(self):
+        assert DataItem("s", "p") == DataItem("s", "p")
+        assert len({DataItem("s", "p"), DataItem("s", "p")}) == 1
+
+    def test_str_forms(self):
+        assert str(DataItem("s", "p")) == "(s, p)"
+        assert str(Triple("s", "p", "o")) == "(s, p, o)"
+
+
+class TestSourceKey:
+    def test_hierarchy_parents(self):
+        fine = page_source("wiki.com", "dob", "wiki.com/p1")
+        mid = fine.parent()
+        top = mid.parent()
+        assert mid == SourceKey(("wiki.com", "dob"))
+        assert top == website_source("wiki.com")
+        assert top.parent() is None
+
+    def test_levels(self):
+        assert website_source("a").level == 1
+        assert page_source("a", "p", "u").level == 3
+
+    def test_website_accessor(self):
+        assert page_source("wiki.com", "dob", "u").website == "wiki.com"
+
+    def test_bucket_parent_is_unsplit_key(self):
+        key = SourceKey(("wiki.com",))
+        split = key.child_bucket(3)
+        assert split.bucket == 3
+        assert split.parent() == key
+
+    def test_cannot_split_twice(self):
+        with pytest.raises(ValueError):
+            SourceKey(("a",), bucket=0).child_bucket(1)
+
+    def test_feature_count_validated(self):
+        with pytest.raises(ValueError):
+            SourceKey(())
+        with pytest.raises(ValueError):
+            SourceKey(("a", "b", "c", "d"))
+
+    def test_str_shows_bucket(self):
+        assert str(SourceKey(("a", "b"), bucket=2)) == "<a, b>#2"
+
+
+class TestExtractorKey:
+    def test_hierarchy_parents(self):
+        fine = pattern_extractor("sys", "pat", "dob", "wiki.com")
+        chain = [fine]
+        while chain[-1].parent() is not None:
+            chain.append(chain[-1].parent())
+        assert [k.level for k in chain] == [4, 3, 2, 1]
+        assert chain[-1] == ExtractorKey(("sys",))
+
+    def test_system_accessor(self):
+        assert pattern_extractor("sys", "p", "d", "w").system == "sys"
+
+    def test_feature_count_validated(self):
+        with pytest.raises(ValueError):
+            ExtractorKey(())
+        with pytest.raises(ValueError):
+            ExtractorKey(("a", "b", "c", "d", "e"))
+
+    def test_bucketing(self):
+        key = ExtractorKey(("sys", "pat"))
+        assert key.child_bucket(0).parent() == key
+
+
+class TestExtractionRecord:
+    def test_defaults_to_full_confidence(self):
+        record = ExtractionRecord(
+            extractor=ExtractorKey(("e",)),
+            source=website_source("w"),
+            item=DataItem("s", "p"),
+            value="v",
+        )
+        assert record.confidence == 1.0
+        assert record.triple == Triple("s", "p", "v")
+
+    def test_zero_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            ExtractionRecord(
+                extractor=ExtractorKey(("e",)),
+                source=website_source("w"),
+                item=DataItem("s", "p"),
+                value="v",
+                confidence=0.0,
+            )
+
+    def test_above_one_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            ExtractionRecord(
+                extractor=ExtractorKey(("e",)),
+                source=website_source("w"),
+                item=DataItem("s", "p"),
+                value="v",
+                confidence=1.5,
+            )
