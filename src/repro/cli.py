@@ -70,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--iterations", type=int, default=5, help="EM iterations",
     )
     estimate.add_argument(
+        "--engine", choices=["python", "numpy"], default="numpy",
+        help="inference backend (numpy: vectorized, several times faster)",
+    )
+    estimate.add_argument(
         "--top", type=int, default=10,
         help="number of sites to print in the summary",
     )
@@ -90,6 +94,7 @@ def run_estimate(args: argparse.Namespace) -> int:
 
     config = MultiLayerConfig(
         absence_scope=AbsenceScope(args.absence_scope),
+        engine=args.engine,
     )
     config = replace(
         config,

@@ -1,5 +1,13 @@
 """The paper's contribution: single- and multi-layer fusion models, vote
-algebra, granularity selection, and the Knowledge-Based Trust estimator."""
+algebra, granularity selection, and the Knowledge-Based Trust estimator.
+
+The multi-layer model ships two interchangeable inference backends selected
+by ``MultiLayerConfig.engine``: the reference pure-Python implementation
+(``"python"``) and a vectorized NumPy engine (``"numpy"``, see
+``repro.core.engine_numpy``) that compiles the observation matrix into
+integer-indexed arrays (``repro.core.indexing``) and runs Algorithm 1 as
+segment operations — numerically matching to <= 1e-9 and several times
+faster on large corpora."""
 
 from repro.core.config import (
     AbsenceScope,

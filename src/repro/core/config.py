@@ -118,11 +118,16 @@ class MultiLayerConfig:
         min_source_support / min_extractor_support: quality stays at the
             default below these evidence counts; triples seen only through
             below-support extractors are not covered (Cov < 1).
-        false_value_model: ACCU (the variant the paper reports; POPACCU is
-            implemented for the single layer only, mirroring Section 5.1.2).
+        false_value_model: ACCU (the variant the paper reports) or POPACCU
+            (empirical false-value popularity; requires
+            ``use_weighted_vcv=False``, see Section 5.1.2).
         quality_floor / quality_ceiling: clamp for estimated P/R/Q/A values,
             keeping the log-odds votes finite.
         convergence: EM loop control.
+        engine: inference backend. ``"python"`` runs the reference
+            dict-based implementation; ``"numpy"`` runs the vectorized
+            array engine (numerically matching to <= 1e-9, several times
+            faster on large corpora).
     """
 
     n: int = 10
@@ -151,10 +156,15 @@ class MultiLayerConfig:
     #: ratcheting on its own transient.
     quality_damping: float = 1.0
     convergence: ConvergenceConfig = ConvergenceConfig()
+    engine: str = "python"
 
     def __post_init__(self) -> None:
         if self.n < 1:
             raise ValueError("n must be >= 1")
+        if self.engine not in ("python", "numpy"):
+            raise ValueError(
+                f'engine must be "python" or "numpy", got {self.engine!r}'
+            )
         if not 0.0 < self.gamma < 1.0:
             raise ValueError("gamma must be in (0, 1)")
         if not 0.0 < self.alpha < 1.0:

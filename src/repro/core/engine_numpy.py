@@ -1,0 +1,382 @@
+"""Vectorized NumPy backend for Algorithm 1 (``engine="numpy"``).
+
+Implements exactly the estimation steps of the Python engine in
+:mod:`repro.core.multi_layer`, but as segment operations over the arrays
+compiled by :mod:`repro.core.indexing`:
+
+1. **C step** — scatter-add of the confidence-weighted presence/absence vote
+   counts VCC' (Eq. 14 / 31) per coordinate, plus the prior log-odds,
+   through a vectorized sigmoid (Eq. 15).
+2. **V step** — per-claim accuracy votes (Eq. 19 / 23) scatter-added into
+   per-triple slots, then a segmented softmax-with-floor-mass per item
+   (Eq. 21 / 25) using CSR ``reduceat`` offsets.
+3. **theta_1** — masked segment means of the value posteriors per source
+   (Eq. 27 / 28), the KBT update.
+4. **theta_2** — extractor precision/recall from segment sums per column
+   (Eq. 29-33) with Q via Eq. 7, and the same damping/floor rules.
+5. **Prior re-estimation** — Eq. 26 vectorized over all scored coordinates.
+
+The output is bit-compatible with the Python engine up to floating-point
+summation order (parity is asserted to <= 1e-9 by the test suite), and the
+returned :class:`~repro.core.results.MultiLayerResult` is built from the
+same dict-of-keys views, so downstream consumers cannot tell the engines
+apart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import AbsenceScope, MultiLayerConfig
+from repro.core.indexing import CompiledProblem, compile_problem
+from repro.core.observation import ObservationMatrix
+from repro.core.quality import ExtractorQuality
+from repro.core.results import IterationSnapshot, MultiLayerResult
+from repro.core.types import DataItem, ExtractorKey, SourceKey, Value
+from repro.util.logmath import (
+    PROB_FLOOR,
+    _SIGMOID_CUTOFF,
+    clamp,
+    safe_log,
+)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    """Elementwise overflow-safe logistic function.
+
+    Saturates to exactly 0.0 / 1.0 beyond the cutoff like the scalar
+    ``logmath.sigmoid``: the engines' zero-total guards (e.g. "skip the
+    recall update when no extraction has any posterior mass") distinguish
+    exact zero from denormal-tiny, so near-parity is not enough here.
+    """
+    ex = np.exp(-np.abs(np.clip(x, -_SIGMOID_CUTOFF, _SIGMOID_CUTOFF)))
+    out = np.where(x >= 0.0, 1.0 / (1.0 + ex), ex / (1.0 + ex))
+    out = np.where(x >= _SIGMOID_CUTOFF, 1.0, out)
+    return np.where(x <= -_SIGMOID_CUTOFF, 0.0, out)
+
+
+def _safe_log(x: np.ndarray, floor: float = PROB_FLOOR) -> np.ndarray:
+    """Elementwise ``log(max(x, floor))``."""
+    return np.log(np.maximum(x, floor))
+
+
+def _log_odds(p: np.ndarray, floor: float = PROB_FLOOR) -> np.ndarray:
+    """Elementwise clamped log-odds."""
+    p = np.clip(p, floor, 1.0 - floor)
+    return np.log(p) - np.log(1.0 - p)
+
+
+def fit_numpy(
+    cfg: MultiLayerConfig,
+    observations: ObservationMatrix,
+    initial_source_accuracy: dict[SourceKey, float] | None = None,
+    initial_extractor_quality: dict[ExtractorKey, ExtractorQuality]
+    | None = None,
+) -> MultiLayerResult:
+    """Run Algorithm 1 with the array backend; same contract as ``fit``."""
+    # Local import avoids a cycle: multi_layer dispatches to this module.
+    from repro.core.multi_layer import default_precision
+
+    prob = compile_problem(observations, cfg)
+    n_sources = len(prob.sources)
+    n_coords = prob.num_coords
+    n_cols = prob.num_cols
+    n_triples = prob.num_triples
+    active_scope = cfg.absence_scope is AbsenceScope.ACTIVE
+
+    # --- parameter initialisation (mirrors _FitState.init_qualities) ------
+    accuracy = np.full(n_sources, cfg.default_accuracy)
+    if initial_source_accuracy:
+        src_idx = {source: i for i, source in enumerate(prob.sources)}
+        for source, value in initial_source_accuracy.items():
+            i = src_idx.get(source)
+            if i is not None:
+                accuracy[i] = clamp(
+                    value, cfg.quality_floor, cfg.quality_ceiling
+                )
+    default_p = default_precision(cfg.default_recall, cfg.default_q, cfg.gamma)
+    base_quality = ExtractorQuality(
+        precision=default_p, recall=cfg.default_recall, q=cfg.default_q
+    )
+    quality_init: dict[ExtractorKey, ExtractorQuality] = {
+        extractor: base_quality for extractor in prob.extractors
+    }
+    if initial_extractor_quality:
+        for extractor, quality in initial_extractor_quality.items():
+            if extractor in quality_init:
+                quality_init[extractor] = quality
+    precision = np.array(
+        [quality_init[e].precision for e in prob.cols], dtype=np.float64
+    )
+    recall = np.array(
+        [quality_init[e].recall for e in prob.cols], dtype=np.float64
+    )
+    q_vec = np.array([quality_init[e].q for e in prob.cols], dtype=np.float64)
+
+    estimable_src_mask = np.zeros(n_sources, dtype=bool)
+    for i, source in enumerate(prob.sources):
+        if source in prob.estimable_sources:
+            estimable_src_mask[i] = True
+
+    priors = np.full(n_coords, cfg.alpha)
+    priors_updated = False
+    log_pop = (
+        _safe_log(prob.triple_popularity)
+        if prob.triple_popularity is not None
+        else None
+    )
+    log_n = safe_log(float(cfg.n))
+    num_unobserved = np.maximum(cfg.n + 1 - prob.item_num_values, 0).astype(
+        np.float64
+    )
+    claim_source = prob.coord_source[prob.claim_coord]
+    claim_log_pop = (
+        log_pop[prob.claim_triple] if log_pop is not None else None
+    )
+    precision_floor = max(cfg.quality_floor, cfg.gamma)
+
+    p_correct = np.zeros(n_coords)
+    posterior = np.zeros(n_triples)
+    residual = np.zeros(prob.num_items)
+
+    history: list[IterationSnapshot] = []
+    for iteration in range(1, cfg.convergence.max_iterations + 1):
+        # --- C step (Section 3.3.1): VCC' + prior log-odds -> sigmoid -----
+        pre_vote = _safe_log(recall) - _safe_log(q_vec)
+        abs_vote = _safe_log(1.0 - recall) - _safe_log(1.0 - q_vec)
+        if active_scope:
+            base_absence = np.bincount(
+                prob.active_src,
+                weights=abs_vote[prob.active_col],
+                minlength=n_sources,
+            )[prob.coord_source]
+        else:
+            base_absence = abs_vote.sum()
+        vcc = base_absence + np.bincount(
+            prob.entry_coord,
+            weights=prob.entry_conf
+            * (pre_vote - abs_vote)[prob.entry_col],
+            minlength=n_coords,
+        )
+        p_correct = _sigmoid(vcc + _log_odds(priors))
+        p_by_source = np.bincount(
+            prob.coord_source, weights=p_correct, minlength=n_sources
+        )
+        total_p_correct = float(p_correct.sum())
+
+        # --- V step (Sections 3.3.2-3.3.3): segmented softmax per item ----
+        claim_p = p_correct[prob.claim_coord]
+        if cfg.use_weighted_vcv:
+            claim_weight = claim_p
+        else:
+            claim_weight = np.where(claim_p >= 0.5, 1.0, 0.0)
+        if claim_log_pop is None:
+            per_source_vote = log_n + _log_odds(accuracy)
+            contrib = claim_weight * per_source_vote[claim_source]
+        else:
+            contrib = claim_weight * (
+                _log_odds(accuracy)[claim_source] - claim_log_pop
+            )
+        votes = np.bincount(
+            prob.claim_triple, weights=contrib, minlength=n_triples
+        )
+        if prob.num_items:
+            starts = prob.item_ptr[:-1]
+            shift = np.maximum(np.maximum.reduceat(votes, starts), 0.0)
+            exp_votes = np.exp(votes - shift[prob.triple_item])
+            z = np.add.reduceat(exp_votes, starts) + num_unobserved * np.exp(
+                -shift
+            )
+            posterior = exp_votes / z[prob.triple_item]
+            posterior_mass = np.add.reduceat(posterior, starts)
+            residual = np.where(
+                num_unobserved > 0.0,
+                np.maximum(1.0 - posterior_mass, 0.0)
+                / np.maximum(num_unobserved, 1.0),
+                0.0,
+            )
+        else:
+            posterior = np.zeros(0)
+            residual = np.zeros(0)
+
+        # --- theta_1 (Eq. 27/28): masked segment means per source ---------
+        keep = claim_p >= 0.5
+        base_weight = claim_p if cfg.use_weighted_vcv else np.ones_like(claim_p)
+        masked_weight = np.where(keep, base_weight, 0.0)
+        acc_numer = np.bincount(
+            claim_source,
+            weights=masked_weight * posterior[prob.claim_triple],
+            minlength=n_sources,
+        )
+        acc_denom = np.bincount(
+            claim_source, weights=masked_weight, minlength=n_sources
+        )
+        acc_update = estimable_src_mask & (acc_denom > 0.0)
+        accuracy_delta = 0.0
+        if acc_update.any():
+            new_accuracy = np.clip(
+                acc_numer[acc_update] / acc_denom[acc_update],
+                cfg.quality_floor,
+                cfg.quality_ceiling,
+            )
+            accuracy_delta = float(
+                np.abs(new_accuracy - accuracy[acc_update]).max()
+            )
+            accuracy[acc_update] = new_accuracy
+
+        # --- theta_2 (Eq. 29-33 + Eq. 7): segment sums per column ---------
+        ext_numer = np.bincount(
+            prob.entry_col,
+            weights=prob.entry_conf * p_correct[prob.entry_coord],
+            minlength=n_cols,
+        )
+        conf_total = np.bincount(
+            prob.entry_col, weights=prob.entry_conf, minlength=n_cols
+        )
+        if active_scope:
+            recall_denom = np.bincount(
+                prob.active_col,
+                weights=p_by_source[prob.active_src],
+                minlength=n_cols,
+            )
+        else:
+            recall_denom = np.full(n_cols, total_p_correct)
+        ext_update = (conf_total > 0.0) & (recall_denom > 0.0)
+        extractor_delta = 0.0
+        if ext_update.any():
+            new_precision = np.clip(
+                ext_numer[ext_update] / conf_total[ext_update],
+                precision_floor,
+                cfg.quality_ceiling,
+            )
+            new_recall = np.clip(
+                ext_numer[ext_update] / recall_denom[ext_update],
+                cfg.quality_floor,
+                cfg.quality_ceiling,
+            )
+            if cfg.quality_damping < 1.0:
+                damping = cfg.quality_damping
+                new_precision = (1.0 - damping) * precision[
+                    ext_update
+                ] + damping * new_precision
+                new_recall = (1.0 - damping) * recall[
+                    ext_update
+                ] + damping * new_recall
+            clamped_p = np.clip(
+                new_precision, cfg.quality_floor, cfg.quality_ceiling
+            )
+            clamped_r = np.clip(
+                new_recall, cfg.quality_floor, cfg.quality_ceiling
+            )
+            new_q = np.clip(
+                cfg.gamma
+                / (1.0 - cfg.gamma)
+                * (1.0 - clamped_p)
+                / clamped_p
+                * clamped_r,
+                cfg.quality_floor,
+                cfg.quality_ceiling,
+            )
+            extractor_delta = float(
+                np.maximum(
+                    np.abs(new_precision - precision[ext_update]),
+                    np.abs(new_recall - recall[ext_update]),
+                ).max()
+            )
+            precision[ext_update] = new_precision
+            recall[ext_update] = new_recall
+            q_vec[ext_update] = new_q
+
+        # --- prior re-estimation (Eq. 26) ---------------------------------
+        if cfg.update_prior and (
+            iteration + 1 >= cfg.prior_update_start_iteration
+        ):
+            p_true = np.zeros(n_coords)
+            has_triple = prob.coord_triple >= 0
+            if posterior.size:
+                p_true[has_triple] = posterior[prob.coord_triple[has_triple]]
+            has_item = ~has_triple & (prob.coord_item >= 0)
+            if residual.size:
+                p_true[has_item] = residual[prob.coord_item[has_item]]
+            source_accuracy = accuracy[prob.coord_source]
+            priors = np.clip(
+                p_true * source_accuracy
+                + (1.0 - p_true) * (1.0 - source_accuracy),
+                cfg.prior_floor,
+                cfg.prior_ceiling,
+            )
+            priors_updated = True
+
+        history.append(
+            IterationSnapshot(iteration, accuracy_delta, extractor_delta)
+        )
+        if max(accuracy_delta, extractor_delta) < cfg.convergence.tolerance:
+            break
+
+    return _assemble_result(
+        prob,
+        observations,
+        p_correct,
+        posterior,
+        accuracy,
+        precision,
+        recall,
+        q_vec,
+        quality_init,
+        priors if priors_updated else None,
+        history,
+    )
+
+
+def _assemble_result(
+    prob: CompiledProblem,
+    observations: ObservationMatrix,
+    p_correct: np.ndarray,
+    posterior: np.ndarray,
+    accuracy: np.ndarray,
+    precision: np.ndarray,
+    recall: np.ndarray,
+    q_vec: np.ndarray,
+    quality_init: dict[ExtractorKey, ExtractorQuality],
+    priors: np.ndarray | None,
+    history: list[IterationSnapshot],
+) -> MultiLayerResult:
+    """Convert the final arrays back into the dict-of-keys result views."""
+    posterior_list = posterior.tolist()
+    value_posteriors: dict[DataItem, dict[Value, float]] = {}
+    ptr = prob.item_ptr
+    for ii, item in enumerate(prob.items):
+        lo, hi = int(ptr[ii]), int(ptr[ii + 1])
+        value_posteriors[item] = {
+            prob.triple_value[t]: posterior_list[t] for t in range(lo, hi)
+        }
+
+    extraction_posteriors = dict(zip(prob.coords, p_correct.tolist()))
+
+    source_accuracy = dict(zip(prob.sources, accuracy.tolist()))
+
+    extractor_quality = dict(quality_init)
+    for c, extractor in enumerate(prob.cols):
+        fitted = ExtractorQuality(
+            precision=float(precision[c]),
+            recall=float(recall[c]),
+            q=float(q_vec[c]),
+        )
+        if fitted != extractor_quality[extractor]:
+            extractor_quality[extractor] = fitted
+
+    priors_dict = (
+        dict(zip(prob.coords, priors.tolist())) if priors is not None else {}
+    )
+
+    return MultiLayerResult(
+        value_posteriors=value_posteriors,
+        extraction_posteriors=extraction_posteriors,
+        source_accuracy=source_accuracy,
+        extractor_quality=extractor_quality,
+        estimable_sources=prob.estimable_sources,
+        estimable_extractors=prob.estimable_extractors,
+        num_triples_total=observations.num_triples,
+        history=history,
+        priors=priors_dict,
+    )

@@ -11,7 +11,7 @@ to webpages and websites.
 from __future__ import annotations
 
 from collections.abc import Iterable
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.config import GranularityConfig, MultiLayerConfig
 from repro.core.granularity import SplitAndMerge
@@ -102,6 +102,8 @@ class KBTEstimator:
         min_triples: reporting threshold — the paper publishes KBT only for
             sources with at least 5 correctly-extracted triples.
         seed: seed for the (random) uniform splitting of oversized keys.
+        engine: when given, overrides ``config.engine`` ("python" or
+            "numpy") without the caller having to rebuild the config.
     """
 
     def __init__(
@@ -110,8 +112,11 @@ class KBTEstimator:
         granularity: GranularityConfig | None = None,
         min_triples: float = 5.0,
         seed: int = 0,
+        engine: str | None = None,
     ) -> None:
         self._config = config or MultiLayerConfig()
+        if engine is not None and engine != self._config.engine:
+            self._config = replace(self._config, engine=engine)
         self._granularity = granularity
         self._min_triples = min_triples
         self._seed = seed

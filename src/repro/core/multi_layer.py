@@ -85,6 +85,23 @@ class MultiLayerModel:
                 extractor.
         """
         cfg = self._config
+        if cfg.engine == "numpy":
+            # Import on dispatch so the reference engine stays usable in
+            # environments without numpy.
+            try:
+                from repro.core.engine_numpy import fit_numpy
+            except ImportError as exc:
+                raise RuntimeError(
+                    'engine="numpy" requires the numpy package; install '
+                    'numpy or select engine="python"'
+                ) from exc
+
+            return fit_numpy(
+                cfg,
+                observations,
+                initial_source_accuracy,
+                initial_extractor_quality,
+            )
         state = _FitState(cfg, observations)
         state.init_qualities(initial_source_accuracy, initial_extractor_quality)
 
@@ -169,10 +186,26 @@ class _FitState:
         for coord in self.scored:
             self.source_claims.setdefault(coord[0], []).append(coord)
 
-        # POPACCU needs empirical value popularity per item.
+        # Active estimable extractors per scored source, computed once:
+        # the C step (absence totals) and the extractor M step (recall
+        # denominators) both reuse this instead of re-querying the
+        # observation index every iteration.
+        self._active_estimable: dict[SourceKey, set[ExtractorKey]] = {
+            source: observations.active_extractors(source)
+            & self.estimable_extractors
+            for source in self.source_claims
+        }
+
+        # POPACCU needs empirical value popularity per item; its log is
+        # static, so precompute it once instead of per V-step claim.
         self._popularity: dict[DataItem, dict[Value, float]] | None = None
+        self._log_popularity: dict[DataItem, dict[Value, float]] | None = None
         if cfg.false_value_model is FalseValueModel.POPACCU:
             self._popularity = self._value_popularity()
+            self._log_popularity = {
+                item: {value: safe_log(p) for value, p in values.items()}
+                for item, values in self._popularity.items()
+            }
 
         # Latent state and parameters, filled by init_qualities().
         self.accuracy: dict[SourceKey, float] = {}
@@ -227,10 +260,11 @@ class _FitState:
         table = VoteTable(
             {e: self.quality[e] for e in self.estimable_extractors}
         )
+        # Absence totals are cached once per source per C step; they only
+        # change between steps (when extractor qualities move).
         active_absence: dict[SourceKey, float] = {}
         if cfg.absence_scope is AbsenceScope.ACTIVE:
-            for source in self.source_claims:
-                active = self._observations.active_extractors(source)
+            for source, active in self._active_estimable.items():
                 active_absence[source] = table.absence_total_for(active)
 
         self.p_correct = {}
@@ -262,26 +296,37 @@ class _FitState:
         """Sections 3.3.2-3.3.3: p(V_d | X) for every covered item."""
         cfg = self._cfg
         log_n = safe_log(float(cfg.n))
+        # Each source's value-vote weight (Eq. 19) is constant within one
+        # V step; computing the log-odds once per source instead of once
+        # per claim is a large win on claim-heavy corpora.
+        if self._popularity is None:
+            vote_weight = {
+                source: log_n + log_odds(self.accuracy[source])
+                for source in self.estimable_sources
+            }
+        else:
+            vote_weight = {
+                source: log_odds(self.accuracy[source])
+                for source in self.estimable_sources
+            }
         self.posteriors = {}
         self._residual = {}
         for item, values in self.item_claims.items():
             votes: dict[Value, float] = {}
             for value, coords in values.items():
                 vote = 0.0
+                if self._log_popularity is None:
+                    log_pop = None
+                else:
+                    log_pop = self._log_popularity[item][value]
                 for coord in coords:
                     weight = self._c_weight(coord)
                     if weight == 0.0:
                         continue
-                    source = coord[0]
-                    if self._popularity is None:
-                        vote += weight * (
-                            log_n + log_odds(self.accuracy[source])
-                        )
+                    if log_pop is None:
+                        vote += weight * vote_weight[coord[0]]
                     else:
-                        vote += weight * (
-                            log_odds(self.accuracy[source])
-                            - safe_log(self._popularity[item][value])
-                        )
+                        vote += weight * (vote_weight[coord[0]] - log_pop)
                 votes[value] = vote
             posterior = value_posteriors(votes, cfg.n + 1)
             self.posteriors[item] = posterior
@@ -341,11 +386,10 @@ class _FitState:
         if cfg.absence_scope is AbsenceScope.ACTIVE:
             active_denominator = {}
             for source, p_sum in self._p_correct_by_source.items():
-                for extractor in self._observations.active_extractors(source):
-                    if extractor in self.estimable_extractors:
-                        active_denominator[extractor] = (
-                            active_denominator.get(extractor, 0.0) + p_sum
-                        )
+                for extractor in self._active_estimable[source]:
+                    active_denominator[extractor] = (
+                        active_denominator.get(extractor, 0.0) + p_sum
+                    )
 
         sums: dict[ExtractorKey, tuple[float, float]] = {}
         for coord, extractions in self.scored.items():

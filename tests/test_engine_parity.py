@@ -1,0 +1,233 @@
+"""Parity between the python and numpy multi-layer engines.
+
+The numpy engine (``MultiLayerConfig(engine="numpy")``) must reproduce the
+reference implementation's output to floating-point summation order: value
+posteriors, extraction posteriors, source accuracies A_w, extractor
+(P, R, Q), priors, estimable sets, coverage and iteration counts. The suite
+drives both engines over randomized corpora (hypothesis) and every
+supported configuration axis: absence scope, weighted/MAP V-step, POPACCU,
+confidence thresholding, damping, prior updates and support cutoffs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import (
+    AbsenceScope,
+    ConvergenceConfig,
+    FalseValueModel,
+    MultiLayerConfig,
+)
+from repro.core.multi_layer import MultiLayerModel
+from repro.core.observation import ObservationMatrix
+from repro.core.quality import ExtractorQuality
+from repro.core.types import (
+    DataItem,
+    ExtractionRecord,
+    ExtractorKey,
+    SourceKey,
+)
+
+TOLERANCE = 1e-9
+
+SOURCES = [SourceKey((f"w{i}",)) for i in range(5)]
+EXTRACTORS = [ExtractorKey((f"e{i}",)) for i in range(4)]
+ITEMS = [DataItem(f"s{i}", "p") for i in range(4)]
+VALUES = ["a", "b", "c"]
+
+
+def records_strategy(max_records: int = 60):
+    record = st.builds(
+        ExtractionRecord,
+        extractor=st.sampled_from(EXTRACTORS),
+        source=st.sampled_from(SOURCES),
+        item=st.sampled_from(ITEMS),
+        value=st.sampled_from(VALUES),
+        confidence=st.floats(
+            min_value=0.05, max_value=1.0, allow_nan=False, exclude_min=False
+        ),
+    )
+    return st.lists(record, max_size=max_records)
+
+
+def fit_both(config: MultiLayerConfig, records, init_acc=None, init_q=None):
+    observations = ObservationMatrix.from_records(records)
+    py = MultiLayerModel(
+        dataclasses.replace(config, engine="python")
+    ).fit(observations, init_acc, init_q)
+    np_ = MultiLayerModel(
+        dataclasses.replace(config, engine="numpy")
+    ).fit(observations, init_acc, init_q)
+    return py, np_
+
+
+def assert_parity(py, np_):
+    assert py.iterations_run == np_.iterations_run
+    assert py.estimable_sources == np_.estimable_sources
+    assert py.estimable_extractors == np_.estimable_extractors
+
+    assert set(py.value_posteriors) == set(np_.value_posteriors)
+    for item, values in py.value_posteriors.items():
+        assert set(values) == set(np_.value_posteriors[item])
+        for value, prob in values.items():
+            assert np_.value_posteriors[item][value] == pytest.approx(
+                prob, abs=TOLERANCE
+            )
+
+    assert set(py.extraction_posteriors) == set(np_.extraction_posteriors)
+    for coord, prob in py.extraction_posteriors.items():
+        assert np_.extraction_posteriors[coord] == pytest.approx(
+            prob, abs=TOLERANCE
+        )
+
+    assert set(py.source_accuracy) == set(np_.source_accuracy)
+    for source, accuracy in py.source_accuracy.items():
+        assert np_.source_accuracy[source] == pytest.approx(
+            accuracy, abs=TOLERANCE
+        )
+
+    assert set(py.extractor_quality) == set(np_.extractor_quality)
+    for extractor, quality in py.extractor_quality.items():
+        other = np_.extractor_quality[extractor]
+        assert other.precision == pytest.approx(
+            quality.precision, abs=TOLERANCE
+        )
+        assert other.recall == pytest.approx(quality.recall, abs=TOLERANCE)
+        assert other.q == pytest.approx(quality.q, abs=TOLERANCE)
+
+    assert set(py.priors) == set(np_.priors)
+    for coord, prior in py.priors.items():
+        assert np_.priors[coord] == pytest.approx(prior, abs=TOLERANCE)
+
+    assert np_.coverage == pytest.approx(py.coverage, abs=TOLERANCE)
+    for snap_py, snap_np in zip(py.history, np_.history):
+        assert snap_np.max_accuracy_delta == pytest.approx(
+            snap_py.max_accuracy_delta, abs=TOLERANCE
+        )
+        assert snap_np.max_extractor_delta == pytest.approx(
+            snap_py.max_extractor_delta, abs=TOLERANCE
+        )
+
+
+CONFIG_AXES = {
+    "defaults": MultiLayerConfig(),
+    "active-scope": MultiLayerConfig(absence_scope=AbsenceScope.ACTIVE),
+    "map-vstep": MultiLayerConfig(use_weighted_vcv=False),
+    "popaccu": MultiLayerConfig(
+        false_value_model=FalseValueModel.POPACCU, use_weighted_vcv=False
+    ),
+    "threshold-0": MultiLayerConfig(confidence_threshold=0.0),
+    "threshold-0.5-active": MultiLayerConfig(
+        confidence_threshold=0.5, absence_scope=AbsenceScope.ACTIVE
+    ),
+    "damped": MultiLayerConfig(quality_damping=0.5),
+    "no-prior-update": MultiLayerConfig(update_prior=False),
+    "late-prior": MultiLayerConfig(prior_update_start_iteration=4),
+    "supports": MultiLayerConfig(
+        min_source_support=2, min_extractor_support=2
+    ),
+    "small-domain": MultiLayerConfig(n=2),
+}
+
+
+@pytest.mark.parametrize("config", CONFIG_AXES.values(), ids=CONFIG_AXES)
+@settings(max_examples=25, deadline=None)
+@given(records=records_strategy())
+def test_randomized_parity(config, records):
+    py, np_ = fit_both(config, records)
+    assert_parity(py, np_)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    records=records_strategy(),
+    accuracies=st.dictionaries(
+        st.sampled_from(SOURCES),
+        st.floats(min_value=0.05, max_value=0.95, allow_nan=False),
+        max_size=len(SOURCES),
+    ),
+    qualities=st.dictionaries(
+        st.sampled_from(EXTRACTORS),
+        st.builds(
+            ExtractorQuality.from_precision_recall,
+            precision=st.floats(min_value=0.1, max_value=0.95),
+            recall=st.floats(min_value=0.1, max_value=0.95),
+            gamma=st.just(0.25),
+        ),
+        max_size=len(EXTRACTORS),
+    ),
+)
+def test_parity_with_initial_qualities(records, accuracies, qualities):
+    py, np_ = fit_both(MultiLayerConfig(), records, accuracies, qualities)
+    assert_parity(py, np_)
+
+
+def test_parity_on_empty_corpus():
+    py, np_ = fit_both(MultiLayerConfig(), [])
+    assert_parity(py, np_)
+    assert py.value_posteriors == {}
+
+
+def test_parity_on_kv_corpus():
+    """Deterministic end-to-end check on a structured synthetic corpus."""
+    from repro.datasets.kv import KVConfig, generate_kv
+
+    corpus = generate_kv(
+        KVConfig(
+            num_websites=40, items_per_predicate=12, num_systems=4, seed=5
+        )
+    )
+    observations = corpus.observation()
+    config = MultiLayerConfig(
+        absence_scope=AbsenceScope.ACTIVE,
+        min_extractor_support=3,
+        min_source_support=2,
+        convergence=ConvergenceConfig(max_iterations=5, tolerance=0.0),
+    )
+    py = MultiLayerModel(config).fit(observations)
+    np_ = MultiLayerModel(
+        dataclasses.replace(config, engine="numpy")
+    ).fit(observations)
+    assert_parity(py, np_)
+
+
+def test_parity_in_saturated_absence_regime():
+    """ALL-scope absence votes from many extractors drive VCC past the
+    sigmoid cutoff; the numpy engine must saturate to *exactly* 0.0 like
+    the scalar sigmoid, or the zero-total guards of the M steps diverge
+    and the engines drift apart from the second iteration on."""
+    extractors = [ExtractorKey((f"sat-e{i}",)) for i in range(400)]
+    records = [
+        ExtractionRecord(
+            extractor=extractors[i],
+            source=SOURCES[i % len(SOURCES)],
+            item=ITEMS[i % len(ITEMS)],
+            value=VALUES[i % len(VALUES)],
+        )
+        for i in range(len(extractors))
+    ]
+    py, np_ = fit_both(MultiLayerConfig(), records)
+    assert max(py.extraction_posteriors.values()) == 0.0
+    assert_parity(py, np_)
+
+
+def test_engine_flag_validation():
+    with pytest.raises(ValueError, match="engine"):
+        MultiLayerConfig(engine="fortran")
+
+
+def test_kbt_estimator_engine_override():
+    from repro.core.kbt import KBTEstimator
+
+    estimator = KBTEstimator(engine="numpy")
+    assert estimator._config.engine == "numpy"
+    estimator = KBTEstimator(config=MultiLayerConfig(engine="numpy"))
+    assert estimator._config.engine == "numpy"
