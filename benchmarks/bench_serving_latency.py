@@ -1,0 +1,219 @@
+"""Serving-path benchmark: artifact load, query latency, warm-start cost.
+
+The fit -> persist -> query lifecycle exists so scores can be served and
+maintained without refitting; this bench tracks that path end to end on a
+KV-scale corpus and writes ``benchmarks/results/BENCH_serving.json``:
+
+* artifact save/load wall time and on-disk size;
+* ``TrustStore`` lookup latency — p50/p99 single-key, and 100-key batches;
+* incremental onboarding: three held-out mainstream websites are folded
+  in with ``FittedKBT.update`` and compared against a cold refit of the
+  combined corpus — the update must match each new site's score within
+  0.02 absolute and cost at least 5x less wall time.
+
+Set ``SERVING_BENCH_SCALE=smoke`` for a reduced corpus (CI): the accuracy
+assertions still run, the timing gate is skipped (single-round timings on
+small corpora and shared runners are too noisy to gate on).
+"""
+
+import json
+import os
+import statistics
+import time
+from collections import Counter
+
+from conftest import RESULTS_DIR, save_result
+
+from repro.core.config import (
+    AbsenceScope,
+    ConvergenceConfig,
+    MultiLayerConfig,
+)
+from repro.core.kbt import KBTEstimator
+from repro.datasets.kv import KVConfig, generate_kv
+from repro.serving.store import TrustStore
+from repro.util.tables import format_table
+
+SMOKE = os.environ.get("SERVING_BENCH_SCALE") == "smoke"
+
+#: High-redundancy KV corpus: stable truth layer, realistic heavy tail.
+SERVING_KV_CONFIG = KVConfig(
+    num_websites=600 if SMOKE else 1600,
+    items_per_predicate=60 if SMOKE else 80,
+    num_systems=16,
+    broad_pattern_fraction=0.8,
+    bad_system_fraction=0.0625,
+    seed=13,
+)
+
+SERVING_MODEL_CONFIG = MultiLayerConfig(
+    absence_scope=AbsenceScope.ACTIVE,
+    engine="numpy",
+    quality_damping=0.5,
+    convergence=ConvergenceConfig(max_iterations=8, tolerance=1e-4),
+)
+
+#: Acceptance gates for the incremental path.
+MAX_NEW_SITE_DIFF = 0.02
+MIN_UPDATE_SPEEDUP = 5.0
+
+SINGLE_LOOKUPS = 20_000
+BATCH_SIZE = 100
+BATCH_ROUNDS = 200
+
+
+def _held_sites(counts: Counter) -> set[str]:
+    """Three well-supported mainstream sites (~1% of the records)."""
+    num_sites = SERVING_KV_CONFIG.num_websites
+    lo, hi = (100, 300) if SMOKE else (300, 600)
+    mainstream = [
+        site for site in counts
+        if int(site[4:8]) >= num_sites // 6 and lo <= counts[site] <= hi
+    ]
+    return set(sorted(mainstream, key=lambda site: counts[site])[-3:])
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def run_serving_bench(tmp_dir: str) -> tuple[str, dict]:
+    corpus = generate_kv(SERVING_KV_CONFIG)
+    records = list(corpus.campaign.records)
+    counts = Counter(record.source.website for record in records)
+    held = _held_sites(counts)
+    base = [r for r in records if r.source.website not in held]
+    new = [r for r in records if r.source.website in held]
+
+    estimator = KBTEstimator(config=SERVING_MODEL_CONFIG, min_triples=5.0)
+    fitted = estimator.fit(base)
+
+    # --- persist + load ------------------------------------------------
+    artifact_path = os.path.join(tmp_dir, "serving_bench.kbt")
+    start = time.perf_counter()
+    fitted.save(artifact_path)
+    save_s = time.perf_counter() - start
+    artifact_bytes = os.path.getsize(artifact_path)
+    start = time.perf_counter()
+    store = TrustStore.open(artifact_path)
+    load_s = time.perf_counter() - start
+
+    # --- query latency -------------------------------------------------
+    sites = list(store.websites())
+    single_us = []
+    for i in range(SINGLE_LOOKUPS):
+        site = sites[i % len(sites)]
+        t0 = time.perf_counter_ns()
+        store.score(site)
+        single_us.append((time.perf_counter_ns() - t0) / 1_000.0)
+    batch_ms = []
+    for round_index in range(BATCH_ROUNDS):
+        keys = [
+            sites[(round_index * 7 + j) % len(sites)]
+            for j in range(BATCH_SIZE)
+        ]
+        t0 = time.perf_counter_ns()
+        store.batch(keys)
+        batch_ms.append((time.perf_counter_ns() - t0) / 1_000_000.0)
+
+    # --- incremental update vs cold refit -------------------------------
+    start = time.perf_counter()
+    updated = fitted.update(new, sweeps=2)
+    update_s = time.perf_counter() - start
+    start = time.perf_counter()
+    cold = estimator.fit(records)
+    cold_s = time.perf_counter() - start
+
+    warm_scores = updated.website_scores()
+    cold_scores = cold.website_scores()
+    new_site_diffs = {}
+    for site in sorted(held):
+        if site in cold_scores and site in warm_scores:
+            new_site_diffs[site] = abs(
+                warm_scores[site].score - cold_scores[site].score
+            )
+    speedup = cold_s / update_s
+    max_diff = max(new_site_diffs.values(), default=float("nan"))
+
+    stats = {
+        "scale": "smoke" if SMOKE else "full",
+        "corpus": {
+            "records": len(records),
+            "websites": SERVING_KV_CONFIG.num_websites,
+            "scored_websites": len(store),
+            "held_out_sites": sorted(held),
+            "held_out_records": len(new),
+        },
+        "artifact": {
+            "save_s": save_s,
+            "load_s": load_s,
+            "size_bytes": artifact_bytes,
+        },
+        "query": {
+            "single_p50_us": _percentile(single_us, 0.50),
+            "single_p99_us": _percentile(single_us, 0.99),
+            "batch100_p50_ms": _percentile(batch_ms, 0.50),
+            "batch100_p99_ms": _percentile(batch_ms, 0.99),
+            "single_lookups": SINGLE_LOOKUPS,
+            "batch_rounds": BATCH_ROUNDS,
+        },
+        "incremental": {
+            "update_s": update_s,
+            "cold_refit_s": cold_s,
+            "speedup": speedup,
+            "new_site_diffs": new_site_diffs,
+            "max_new_site_diff": max_diff,
+            "sweeps": 2,
+        },
+    }
+
+    rows = [
+        ["records", float(len(records))],
+        ["scored websites", float(len(store))],
+        ["artifact size (KB)", artifact_bytes / 1024.0],
+        ["artifact save (s)", save_s],
+        ["artifact load (s)", load_s],
+        ["single lookup p50 (us)", stats["query"]["single_p50_us"]],
+        ["single lookup p99 (us)", stats["query"]["single_p99_us"]],
+        ["batch-100 p50 (ms)", stats["query"]["batch100_p50_ms"]],
+        ["batch-100 p99 (ms)", stats["query"]["batch100_p99_ms"]],
+        ["incremental update (s)", update_s],
+        ["cold refit (s)", cold_s],
+        ["update speedup (x)", speedup],
+        ["max new-site |KBT diff|", stats["incremental"]["max_new_site_diff"]],
+        ["mean new-site |KBT diff|",
+         statistics.mean(new_site_diffs.values())
+         if new_site_diffs else float("nan")],
+    ]
+    text = format_table(
+        ["Metric", "Value"],
+        rows,
+        title=(
+            "Serving path: artifact IO, TrustStore latency, warm-start "
+            f"update ({'smoke' if SMOKE else 'full'} corpus)"
+        ),
+        float_format="{:.4g}",
+    )
+    return text, stats
+
+
+def test_bench_serving_latency(benchmark, tmp_path):
+    text, stats = benchmark.pedantic(
+        run_serving_bench, args=(str(tmp_path),), rounds=1, iterations=1
+    )
+    save_result("serving_latency", text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_path = RESULTS_DIR / "BENCH_serving.json"
+    json_path.write_text(
+        json.dumps(stats, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"[stats saved to {json_path}]")
+
+    # Warm-start onboarding must track the cold refit for every new site.
+    assert stats["incremental"]["new_site_diffs"], "no held site was scored"
+    assert stats["incremental"]["max_new_site_diff"] <= MAX_NEW_SITE_DIFF
+    # Timing gates only at full scale: small corpora cannot amortise the
+    # fixed per-fit overhead and shared CI runners are too noisy.
+    if not SMOKE:
+        assert stats["incremental"]["speedup"] >= MIN_UPDATE_SPEEDUP

@@ -1,21 +1,39 @@
 """Command-line interface: ``python -m repro`` or the ``kbt`` script.
 
-Subcommands:
+The subcommands mirror the fit -> persist -> query lifecycle:
 
-* ``estimate`` — read extraction records (JSONL), run the KBT pipeline,
-  write per-website scores (CSV) and print a summary::
-
-      kbt estimate records.jsonl --output scores.csv --min-triples 5
-
-* ``demo`` — generate a synthetic Knowledge-Vault-like corpus as JSONL so
-  ``estimate`` has something to chew on::
+* ``fit`` — read extraction records (JSONL), run the KBT pipeline, persist
+  the fitted model as a versioned trust artifact, optionally write
+  per-website scores (CSV)::
 
       kbt demo demo.jsonl --websites 100 --seed 7
+      kbt fit demo.jsonl --artifact model.kbt --output scores.csv
+
+* ``query`` — answer score lookups from an artifact without refitting::
+
+      kbt query model.kbt --top 10
+      kbt query model.kbt --site site0001.example
+      kbt query model.kbt --breakdown site0001.example
+
+* ``serve`` — expose the artifact over HTTP (JSON)::
+
+      kbt serve model.kbt --port 8080
+
+* ``update`` — fold new records into an existing artifact incrementally
+  (frozen extractor qualities, one-to-two EM sweeps on the delta)::
+
+      kbt update model.kbt new_records.jsonl
+
+* ``estimate`` — deprecated alias: fit and print scores without
+  persisting anything (the pre-lifecycle behaviour).
+
+* ``demo`` — generate a synthetic Knowledge-Vault-like corpus as JSONL.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.config import (
@@ -23,9 +41,11 @@ from repro.core.config import (
     GranularityConfig,
     MultiLayerConfig,
 )
-from repro.core.kbt import KBTEstimator
+from repro.core.kbt import FittedKBT, KBTEstimator
+from repro.core.observation import ObservationMatrix
+from repro.io.artifact import ArtifactError
 from repro.io.jsonl import read_records, write_records
-from repro.io.reports import write_score_csv
+from repro.io.reports import score_sort_key, write_score_csv
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,50 +53,89 @@ def build_parser() -> argparse.ArgumentParser:
         prog="kbt",
         description=(
             "Knowledge-Based Trust: estimate website trustworthiness from "
-            "extracted (subject, predicate, object) triples."
+            "extracted (subject, predicate, object) triples, persist the "
+            "fitted model, and serve score lookups."
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    fit = sub.add_parser(
+        "fit",
+        help="run the KBT pipeline and persist a trust artifact",
+    )
+    fit.add_argument("records", help="input JSONL file")
+    fit.add_argument(
+        "--artifact", "-a", default=None,
+        help="path for the persisted trust artifact (model.kbt)",
+    )
+    fit.add_argument(
+        "--no-observations", action="store_true",
+        help=(
+            "write a serving-only artifact without the extraction cells "
+            "(smaller, but 'kbt update' will refuse it)"
+        ),
+    )
+    _add_model_options(fit)
+    _add_summary_options(fit)
+
     estimate = sub.add_parser(
-        "estimate", help="run the KBT pipeline on a JSONL record file"
+        "estimate",
+        help="[deprecated: use 'fit'] run the pipeline without persisting",
     )
     estimate.add_argument("records", help="input JSONL file")
-    estimate.add_argument(
-        "--output", "-o", default=None,
-        help="CSV file for website scores (default: stdout summary only)",
+    _add_model_options(estimate)
+    _add_summary_options(estimate)
+
+    query = sub.add_parser(
+        "query", help="answer score lookups from a trust artifact"
     )
-    estimate.add_argument(
-        "--min-triples", type=float, default=5.0,
-        help="report sources with at least this much extraction support",
+    query.add_argument("artifact", help="trust artifact written by 'fit'")
+    what = query.add_mutually_exclusive_group(required=True)
+    what.add_argument("--site", help="score of one website")
+    what.add_argument(
+        "--page", nargs=2, metavar=("SITE", "URL"),
+        help="score of one webpage",
     )
-    estimate.add_argument(
-        "--absence-scope", choices=["all", "active"], default="active",
-        help="which extractors cast absence votes",
+    what.add_argument(
+        "--batch", metavar="SITES",
+        help="comma-separated websites, scored in one call",
     )
-    estimate.add_argument(
-        "--split-merge", action="store_true",
-        help="run SPLITANDMERGE granularity selection before inference",
+    what.add_argument(
+        "--top", type=int, metavar="K", help="the K most trustworthy sites"
     )
-    estimate.add_argument(
-        "--min-size", type=int, default=5,
-        help="SPLITANDMERGE lower bound m",
+    what.add_argument(
+        "--percentile", metavar="SITE", help="score percentile of a website"
     )
-    estimate.add_argument(
-        "--max-size", type=int, default=10_000,
-        help="SPLITANDMERGE upper bound M",
+    what.add_argument(
+        "--breakdown", metavar="SITE",
+        help="contributing sources behind a website's score",
     )
-    estimate.add_argument(
-        "--iterations", type=int, default=5, help="EM iterations",
+    what.add_argument(
+        "--stats", action="store_true", help="artifact-level statistics"
     )
-    estimate.add_argument(
-        "--engine", choices=["python", "numpy"], default="numpy",
-        help="inference backend (numpy: vectorized, several times faster)",
+
+    serve = sub.add_parser(
+        "serve", help="serve JSON score lookups over HTTP"
     )
-    estimate.add_argument(
-        "--top", type=int, default=10,
-        help="number of sites to print in the summary",
+    serve.add_argument("artifact", help="trust artifact written by 'fit'")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+
+    update = sub.add_parser(
+        "update",
+        help="fold new records into an artifact without a full refit",
     )
+    update.add_argument("artifact", help="trust artifact written by 'fit'")
+    update.add_argument("records", help="JSONL file with new records")
+    update.add_argument(
+        "--artifact-out", default=None,
+        help="write the updated artifact here (default: in place)",
+    )
+    update.add_argument(
+        "--sweeps", type=int, default=2,
+        help="EM sweeps over the delta sub-problem (default 2)",
+    )
+    _add_summary_options(update)
 
     demo = sub.add_parser(
         "demo", help="generate a synthetic corpus as JSONL"
@@ -89,7 +148,49 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def run_estimate(args: argparse.Namespace) -> int:
+def _add_model_options(parser: argparse.ArgumentParser) -> None:
+    """The shared model/granularity knobs of ``fit`` and ``estimate``."""
+    parser.add_argument(
+        "--min-triples", type=float, default=5.0,
+        help="report sources with at least this much extraction support",
+    )
+    parser.add_argument(
+        "--absence-scope", choices=["all", "active"], default="active",
+        help="which extractors cast absence votes",
+    )
+    parser.add_argument(
+        "--split-merge", action="store_true",
+        help="run SPLITANDMERGE granularity selection before inference",
+    )
+    parser.add_argument(
+        "--min-size", type=int, default=5,
+        help="SPLITANDMERGE lower bound m",
+    )
+    parser.add_argument(
+        "--max-size", type=int, default=10_000,
+        help="SPLITANDMERGE upper bound M",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=5, help="EM iterations",
+    )
+    parser.add_argument(
+        "--engine", choices=["python", "numpy"], default="numpy",
+        help="inference backend (numpy: vectorized, several times faster)",
+    )
+
+
+def _add_summary_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--output", "-o", default=None,
+        help="CSV file for website scores (default: stdout summary only)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10,
+        help="number of sites to print in the summary",
+    )
+
+
+def _build_estimator(args: argparse.Namespace) -> KBTEstimator:
     from dataclasses import replace
 
     config = MultiLayerConfig(
@@ -107,33 +208,121 @@ def run_estimate(args: argparse.Namespace) -> int:
         granularity = GranularityConfig(
             min_size=args.min_size, max_size=args.max_size
         )
-    estimator = KBTEstimator(
+    return KBTEstimator(
         config=config,
         granularity=granularity,
         min_triples=args.min_triples,
     )
-    records = list(read_records(args.records))
-    if not records:
-        print("no records found", file=sys.stderr)
-        return 1
-    report = estimator.estimate(records)
-    scores = report.website_scores()
+
+
+def _print_summary(
+    fitted: FittedKBT, num_records: int, args: argparse.Namespace
+) -> bool:
+    """Write the CSV + stdout ranking; returns False when nothing scored."""
+    scores = fitted.website_scores()
     if not scores:
         print(
             "no website cleared the support threshold "
-            f"({args.min_triples} triples)",
+            f"({fitted.min_triples} triples)",
             file=sys.stderr,
         )
-        return 1
+        return False
     if args.output:
         written = write_score_csv(scores, args.output)
         print(f"wrote {written} website scores to {args.output}")
-    ranked = sorted(scores.values(), key=lambda s: -s.score)
-    print(f"{len(records)} records -> KBT for {len(ranked)} websites")
+    ranked = sorted(scores.values(), key=score_sort_key)
+    print(f"{num_records} records -> KBT for {len(ranked)} websites")
     print(f"{'website':30s} {'KBT':>7s} {'support':>8s}")
     for score in ranked[: args.top]:
         print(f"{str(score.key):30s} {score.score:7.3f} "
               f"{score.support:8.1f}")
+    return True
+
+
+def run_fit(args: argparse.Namespace, deprecated_alias: bool = False) -> int:
+    if deprecated_alias:
+        print(
+            "warning: 'kbt estimate' is deprecated; use 'kbt fit' "
+            "(optionally with --artifact) instead",
+            file=sys.stderr,
+        )
+    # Stream straight into the matrix: no intermediate record list.
+    observations = ObservationMatrix.from_records(read_records(args.records))
+    if observations.num_records == 0:
+        print("no records found", file=sys.stderr)
+        return 1
+    fitted = _build_estimator(args).fit(observations)
+    artifact_path = getattr(args, "artifact", None)
+    if artifact_path:
+        fitted.save(
+            artifact_path,
+            include_observations=not getattr(args, "no_observations", False),
+            metadata={"records_file": args.records},
+        )
+        print(f"saved trust artifact to {artifact_path}")
+    scored = _print_summary(fitted, observations.num_records, args)
+    if not scored and not artifact_path:
+        return 1
+    return 0
+
+
+def run_query(args: argparse.Namespace) -> int:
+    from repro.serving.store import TrustStore
+
+    store = TrustStore.open(args.artifact)
+    if args.stats:
+        payload = store.stats_json()
+    elif args.site is not None:
+        payload = store.score_json(args.site)
+    elif args.page is not None:
+        payload = store.page_json(*args.page)
+    elif args.batch is not None:
+        payload = store.batch_json(
+            [site for site in args.batch.split(",") if site]
+        )
+    elif args.top is not None:
+        payload = store.top_json(args.top)
+    elif args.percentile is not None:
+        percentile = store.percentile(args.percentile)
+        payload = (
+            None
+            if percentile is None
+            else {"key": args.percentile, "percentile": percentile}
+        )
+    else:
+        payload = store.breakdown(args.breakdown)
+    if payload is None:
+        print("no score for that key", file=sys.stderr)
+        return 1
+    print(json.dumps(payload, indent=2, ensure_ascii=False))
+    return 0
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    from repro.serving.http import serve
+    from repro.serving.store import TrustStore
+
+    serve(TrustStore.open(args.artifact), host=args.host, port=args.port)
+    return 0
+
+
+def run_update(args: argparse.Namespace) -> int:
+    fitted = FittedKBT.load(args.artifact)
+    before = set(fitted.website_scores())
+    updated = fitted.update(
+        read_records(args.records), sweeps=args.sweeps
+    )
+    out_path = args.artifact_out or args.artifact
+    updated.save(out_path)
+    print(f"saved updated trust artifact to {out_path}")
+    new_sites = sorted(set(updated.website_scores()) - before)
+    if new_sites:
+        shown = ", ".join(new_sites[:5])
+        more = "" if len(new_sites) <= 5 else f" (+{len(new_sites) - 5} more)"
+        print(f"{len(new_sites)} newly scored websites: {shown}{more}")
+    # The artifact was saved either way — like `fit --artifact`, an empty
+    # summary is a warning, not a failure.
+    _print_summary(updated, updated.observations.num_records, args)
     return 0
 
 
@@ -158,10 +347,26 @@ def run_demo(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "estimate":
-        return run_estimate(args)
-    if args.command == "demo":
-        return run_demo(args)
+    try:
+        if args.command == "fit":
+            return run_fit(args)
+        if args.command == "estimate":
+            return run_fit(args, deprecated_alias=True)
+        if args.command == "query":
+            return run_query(args)
+        if args.command == "serve":
+            return run_serve(args)
+        if args.command == "update":
+            return run_update(args)
+        if args.command == "demo":
+            return run_demo(args)
+    except (ArtifactError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Stdout was closed early (e.g. piped into `head`); exit quietly.
+        sys.stderr.close()
+        return 0
     return 2  # unreachable: argparse enforces the subcommand
 
 

@@ -19,7 +19,7 @@ from repro.core.config import (
 )
 from repro.core.gibbs import GibbsConfig, GibbsMultiLayer
 from repro.core.granularity import GranularityPlan, SplitAndMerge
-from repro.core.kbt import KBTEstimator, KBTReport, KBTScore
+from repro.core.kbt import FittedKBT, KBTEstimator, KBTReport, KBTScore
 from repro.core.multi_layer import MultiLayerModel, default_precision
 from repro.core.observation import ObservationMatrix
 from repro.core.quality import ExtractorQuality, derive_q
@@ -54,6 +54,7 @@ __all__ = [
     "ExtractorKey",
     "ExtractorQuality",
     "FalseValueModel",
+    "FittedKBT",
     "GibbsConfig",
     "GibbsMultiLayer",
     "GranularityConfig",

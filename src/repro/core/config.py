@@ -128,6 +128,11 @@ class MultiLayerConfig:
             dict-based implementation; ``"numpy"`` runs the vectorized
             array engine (numerically matching to <= 1e-9, several times
             faster on large corpora).
+        freeze_extractor_quality: skip the theta_2 M step entirely, keeping
+            every extractor at its initial (P, R, Q). Used by warm-start
+            incremental scoring (``FittedKBT.update``): a converged fit's
+            extractor qualities are injected as initial values and held
+            fixed while only the source/value layers re-run on the delta.
     """
 
     n: int = 10
@@ -157,6 +162,7 @@ class MultiLayerConfig:
     quality_damping: float = 1.0
     convergence: ConvergenceConfig = ConvergenceConfig()
     engine: str = "python"
+    freeze_extractor_quality: bool = False
 
     def __post_init__(self) -> None:
         if self.n < 1:

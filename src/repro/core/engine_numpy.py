@@ -72,6 +72,8 @@ def fit_numpy(
     initial_source_accuracy: dict[SourceKey, float] | None = None,
     initial_extractor_quality: dict[ExtractorKey, ExtractorQuality]
     | None = None,
+    frozen_extractors: set[ExtractorKey] | None = None,
+    frozen_sources: set[SourceKey] | None = None,
 ) -> MultiLayerResult:
     """Run Algorithm 1 with the array backend; same contract as ``fit``."""
     # Local import avoids a cycle: multi_layer dispatches to this module.
@@ -117,6 +119,18 @@ def fit_numpy(
     for i, source in enumerate(prob.sources):
         if source in prob.estimable_sources:
             estimable_src_mask[i] = True
+
+    unfrozen_col_mask = np.ones(n_cols, dtype=bool)
+    if frozen_extractors:
+        for c, extractor in enumerate(prob.cols):
+            if extractor in frozen_extractors:
+                unfrozen_col_mask[c] = False
+
+    unfrozen_src_mask = np.ones(n_sources, dtype=bool)
+    if frozen_sources:
+        for i, source in enumerate(prob.sources):
+            if source in frozen_sources:
+                unfrozen_src_mask[i] = False
 
     priors = np.full(n_coords, cfg.alpha)
     priors_updated = False
@@ -211,7 +225,7 @@ def fit_numpy(
         acc_denom = np.bincount(
             claim_source, weights=masked_weight, minlength=n_sources
         )
-        acc_update = estimable_src_mask & (acc_denom > 0.0)
+        acc_update = estimable_src_mask & (acc_denom > 0.0) & unfrozen_src_mask
         accuracy_delta = 0.0
         if acc_update.any():
             new_accuracy = np.clip(
@@ -225,24 +239,29 @@ def fit_numpy(
             accuracy[acc_update] = new_accuracy
 
         # --- theta_2 (Eq. 29-33 + Eq. 7): segment sums per column ---------
-        ext_numer = np.bincount(
-            prob.entry_col,
-            weights=prob.entry_conf * p_correct[prob.entry_coord],
-            minlength=n_cols,
-        )
-        conf_total = np.bincount(
-            prob.entry_col, weights=prob.entry_conf, minlength=n_cols
-        )
-        if active_scope:
-            recall_denom = np.bincount(
-                prob.active_col,
-                weights=p_by_source[prob.active_src],
+        extractor_delta = 0.0
+        if cfg.freeze_extractor_quality:
+            ext_update = np.zeros(n_cols, dtype=bool)
+        else:
+            ext_numer = np.bincount(
+                prob.entry_col,
+                weights=prob.entry_conf * p_correct[prob.entry_coord],
                 minlength=n_cols,
             )
-        else:
-            recall_denom = np.full(n_cols, total_p_correct)
-        ext_update = (conf_total > 0.0) & (recall_denom > 0.0)
-        extractor_delta = 0.0
+            conf_total = np.bincount(
+                prob.entry_col, weights=prob.entry_conf, minlength=n_cols
+            )
+            if active_scope:
+                recall_denom = np.bincount(
+                    prob.active_col,
+                    weights=p_by_source[prob.active_src],
+                    minlength=n_cols,
+                )
+            else:
+                recall_denom = np.full(n_cols, total_p_correct)
+            ext_update = (
+                (conf_total > 0.0) & (recall_denom > 0.0) & unfrozen_col_mask
+            )
         if ext_update.any():
             new_precision = np.clip(
                 ext_numer[ext_update] / conf_total[ext_update],

@@ -74,6 +74,8 @@ class MultiLayerModel:
         initial_source_accuracy: dict[SourceKey, float] | None = None,
         initial_extractor_quality: dict[ExtractorKey, ExtractorQuality]
         | None = None,
+        frozen_extractors: set[ExtractorKey] | None = None,
+        frozen_sources: set[SourceKey] | None = None,
     ) -> MultiLayerResult:
         """Run Algorithm 1 on an observation matrix.
 
@@ -83,6 +85,16 @@ class MultiLayerModel:
                 A_w (the "+" variants of Section 5.1.2).
             initial_extractor_quality: optional initial (P, R, Q) per
                 extractor.
+            frozen_extractors: extractors whose quality stays pinned at its
+                initial value (the theta_2 update skips them). Warm-start
+                incremental scoring freezes the converged extractors while
+                letting columns first seen in the delta adapt;
+                ``config.freeze_extractor_quality`` freezes all of them.
+            frozen_sources: sources whose accuracy stays pinned at its
+                initial value (the theta_1 update skips them). Incremental
+                scoring pins converged sources — a delta sub-problem only
+                sees a biased slice of their claims — while new sources
+                are estimated normally.
         """
         cfg = self._config
         if cfg.engine == "numpy":
@@ -101,6 +113,8 @@ class MultiLayerModel:
                 observations,
                 initial_source_accuracy,
                 initial_extractor_quality,
+                frozen_extractors,
+                frozen_sources,
             )
         state = _FitState(cfg, observations)
         state.init_qualities(initial_source_accuracy, initial_extractor_quality)
@@ -109,8 +123,13 @@ class MultiLayerModel:
         for iteration in range(1, cfg.convergence.max_iterations + 1):
             state.estimate_extraction_correctness()
             state.estimate_values()
-            accuracy_delta = state.update_source_accuracy()
-            extractor_delta = state.update_extractor_quality()
+            accuracy_delta = state.update_source_accuracy(frozen_sources)
+            if cfg.freeze_extractor_quality:
+                extractor_delta = 0.0
+            else:
+                extractor_delta = state.update_extractor_quality(
+                    frozen_extractors
+                )
             if cfg.update_prior and (
                 iteration + 1 >= cfg.prior_update_start_iteration
             ):
@@ -347,7 +366,9 @@ class _FitState:
     # ------------------------------------------------------------------
     # M steps
     # ------------------------------------------------------------------
-    def update_source_accuracy(self) -> float:
+    def update_source_accuracy(
+        self, frozen: set[SourceKey] | None = None
+    ) -> float:
         """Section 3.4.1 (Eq. 27 / 28): the KBT update. Returns max delta.
 
         Both equations sum over {dv : Chat_wdv = 1} — only triples the MAP
@@ -359,6 +380,8 @@ class _FitState:
         max_delta = 0.0
         for source, coords in self.source_claims.items():
             if source not in self.estimable_sources:
+                continue
+            if frozen is not None and source in frozen:
                 continue
             numer = 0.0
             denom = 0.0
@@ -378,7 +401,9 @@ class _FitState:
             self.accuracy[source] = new_accuracy
         return max_delta
 
-    def update_extractor_quality(self) -> float:
+    def update_extractor_quality(
+        self, frozen: set[ExtractorKey] | None = None
+    ) -> float:
         """Section 3.4.2 (Eq. 29-33 + Eq. 7). Returns max delta."""
         cfg = self._cfg
         max_delta = 0.0
@@ -403,6 +428,8 @@ class _FitState:
 
         for extractor, (numer, conf_total) in sums.items():
             if conf_total <= 0.0:
+                continue
+            if frozen is not None and extractor in frozen:
                 continue
             # Floor P at gamma: via Eq. 7, P < gamma implies Q > R — an
             # "anti-extractor" whose presence would argue *against*

@@ -154,6 +154,138 @@ class ObservationMatrix:
         """Extractors that extracted at least one triple from ``source``."""
         return self._active_extractors.get(source, set())
 
+    def iter_records(self) -> Iterator[ExtractionRecord]:
+        """Reconstruct one record per (coordinate, extractor) cell entry.
+
+        Duplicate input records were already collapsed to their maximum
+        confidence, so a rebuilt matrix is cell-identical to this one even
+        though ``num_records`` counts the deduplicated entries.
+        """
+        for (source, item, value), cell in self._cells.items():
+            for extractor, confidence in cell.items():
+                yield ExtractionRecord(
+                    extractor=extractor,
+                    source=source,
+                    item=item,
+                    value=value,
+                    confidence=confidence,
+                )
+
+    def restricted_to_items(
+        self, items: set[DataItem]
+    ) -> "ObservationMatrix":
+        """The sub-matrix of all claims on ``items``.
+
+        Built index-to-index (no intermediate records), so the cost is
+        proportional to the retained cells. The retained sources keep
+        their *corpus-level* active-extractor sets: the restriction is a
+        view of the same crawl, so the answer to "which extractors
+        processed source w" (the ACTIVE absence-vote scope) must not
+        shrink just because most of w's claims fall outside the item
+        slice.
+        """
+        out = object.__new__(ObservationMatrix)
+        cells: dict[Coord, dict[ExtractorKey, float]] = {}
+        item_index: dict[DataItem, dict[Value, set[SourceKey]]] = {}
+        source_index: dict[SourceKey, list[tuple[DataItem, Value]]] = {}
+        extractor_index: dict[ExtractorKey, dict[Coord, float]] = {}
+        num_records = 0
+        for item in items:
+            values = self._item_index.get(item)
+            if not values:
+                continue
+            item_index[item] = {
+                value: set(claiming) for value, claiming in values.items()
+            }
+            for value, claiming in values.items():
+                for source in claiming:
+                    coord = (source, item, value)
+                    cell = dict(self._cells[coord])
+                    cells[coord] = cell
+                    source_index.setdefault(source, []).append((item, value))
+                    for extractor, confidence in cell.items():
+                        extractor_index.setdefault(extractor, {})[coord] = (
+                            confidence
+                        )
+                    num_records += len(cell)
+        out._cells = cells
+        out._item_index = item_index
+        out._source_index = source_index
+        out._extractor_index = extractor_index
+        out._active_extractors = {
+            source: set(self._active_extractors.get(source, ()))
+            for source in source_index
+        }
+        out._num_records = num_records
+        return out
+
+    def extended(self, other: "ObservationMatrix") -> "ObservationMatrix":
+        """A new matrix equal to this one plus ``other``'s extractions.
+
+        Copy-on-write: top-level indexes are (C-speed) dict copies and
+        only the entries ``other`` touches get fresh inner structures, so
+        folding a small delta into a large matrix costs far less than
+        rebuilding from records. Neither input is mutated.
+        """
+        out = object.__new__(ObservationMatrix)
+        out._cells = dict(self._cells)
+        out._item_index = dict(self._item_index)
+        out._source_index = dict(self._source_index)
+        out._extractor_index = dict(self._extractor_index)
+        out._active_extractors = dict(self._active_extractors)
+        out._num_records = self._num_records + other._num_records
+
+        copied_items: set[DataItem] = set()
+        copied_sources: set[SourceKey] = set()
+        copied_extractors: set[ExtractorKey] = set()
+        copied_active: set[SourceKey] = set()
+
+        for coord, new_cell in other._cells.items():
+            source, item, value = coord
+            existing = out._cells.get(coord)
+            if existing is None:
+                cell = dict(new_cell)
+                out._cells[coord] = cell
+                if item not in copied_items:
+                    copied_items.add(item)
+                    out._item_index[item] = {
+                        v: set(claiming)
+                        for v, claiming in out._item_index.get(
+                            item, {}
+                        ).items()
+                    }
+                out._item_index[item].setdefault(value, set()).add(source)
+                if source not in copied_sources:
+                    copied_sources.add(source)
+                    out._source_index[source] = list(
+                        out._source_index.get(source, ())
+                    )
+                out._source_index[source].append((item, value))
+                updates = new_cell
+            else:
+                cell = dict(existing)
+                out._cells[coord] = cell
+                updates = {
+                    extractor: confidence
+                    for extractor, confidence in new_cell.items()
+                    if confidence > cell.get(extractor, 0.0)
+                }
+                cell.update(updates)
+            for extractor, confidence in updates.items():
+                if extractor not in copied_extractors:
+                    copied_extractors.add(extractor)
+                    out._extractor_index[extractor] = dict(
+                        out._extractor_index.get(extractor, {})
+                    )
+                out._extractor_index[extractor][coord] = confidence
+            if source not in copied_active:
+                copied_active.add(source)
+                out._active_extractors[source] = set(
+                    out._active_extractors.get(source, ())
+                )
+            out._active_extractors[source].update(new_cell)
+        return out
+
     # ------------------------------------------------------------------
     # Statistics used by granularity selection and Figure 5
     # ------------------------------------------------------------------

@@ -76,6 +76,11 @@ class _TripleView:
         }
 
     @property
+    def num_triples_total(self) -> int:
+        """Total observed (item, value) pairs, the Cov denominator."""
+        return self._num_triples_total
+
+    @property
     def coverage(self) -> float:
         """Cov: fraction of observed triples with a computed probability."""
         if self._num_triples_total == 0:

@@ -1,16 +1,30 @@
-"""Serialisation of extraction records and KBT reports.
+"""Serialisation of extraction records, KBT reports, and trust artifacts.
 
 * :mod:`repro.io.jsonl` — read/write extraction records as JSON Lines (one
   record per line), the interchange format of the command-line tool;
-* :mod:`repro.io.reports` — write KBT scores as CSV.
+* :mod:`repro.io.reports` — write KBT scores as CSV;
+* :mod:`repro.io.artifact` — versioned on-disk artifacts for fitted
+  models (the *persist* stage of the fit -> persist -> query lifecycle).
 """
 
+from repro.io.artifact import (
+    FORMAT_VERSION,
+    ArtifactError,
+    TrustArtifact,
+    load_artifact,
+    save_artifact,
+)
 from repro.io.jsonl import read_records, record_to_dict, write_records
 from repro.io.reports import write_score_csv
 
 __all__ = [
+    "FORMAT_VERSION",
+    "ArtifactError",
+    "TrustArtifact",
+    "load_artifact",
     "read_records",
     "record_to_dict",
+    "save_artifact",
     "write_records",
     "write_score_csv",
 ]

@@ -1,0 +1,503 @@
+"""Versioned on-disk trust artifacts: the *persist* stage of the lifecycle.
+
+A trust artifact is one zip file holding everything a fitted KBT model
+needs to be served or warm-started later:
+
+* ``header.json`` — format name + ``FORMAT_VERSION``, the serialised
+  :class:`~repro.core.config.MultiLayerConfig` (and granularity config),
+  the reporting threshold, interning tables for every source / extractor /
+  item / value key, the convergence history, and arbitrary metadata;
+* one payload member with the numeric state of the fitted
+  :class:`~repro.core.results.MultiLayerResult` as flat arrays —
+  ``payload.npz`` (NumPy ``savez``) when numpy is importable, else
+  ``payload.json`` (plain lists). Loading accepts either kind.
+
+Floats survive both payloads bit-for-bit (``json`` uses ``repr``, which
+round-trips float64 exactly), and every dict is rebuilt in its original
+insertion order, so re-aggregating scores from a loaded artifact
+reproduces the original ``website_scores()`` to the last bit.
+
+Artifacts written by a newer ``FORMAT_VERSION`` are rejected with a clear
+:class:`ArtifactError` instead of being misread.
+
+Values are restricted to the JSON scalar types (str / int / float / bool /
+None) — exactly what :mod:`repro.io.jsonl` can produce. Composite values
+raise :class:`ArtifactError` at save time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import os
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.config import (
+    AbsenceScope,
+    ConvergenceConfig,
+    FalseValueModel,
+    GranularityConfig,
+    MultiLayerConfig,
+)
+from repro.core.observation import ObservationMatrix
+from repro.core.quality import ExtractorQuality
+from repro.core.results import IterationSnapshot, MultiLayerResult
+from repro.core.types import (
+    DataItem,
+    ExtractionRecord,
+    ExtractorKey,
+    SourceKey,
+)
+
+#: Format identifier stored in (and required from) every artifact header.
+FORMAT_NAME = "kbt-trust-artifact"
+
+#: Bump on any incompatible change to the header or payload layout.
+FORMAT_VERSION = 1
+
+_HEADER_MEMBER = "header.json"
+_NPZ_MEMBER = "payload.npz"
+_JSON_MEMBER = "payload.json"
+
+#: The value types the artifact (like the JSONL interchange) can carry.
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+class ArtifactError(ValueError):
+    """Raised for unreadable, unsupported, or unserialisable artifacts."""
+
+
+@dataclass(frozen=True)
+class TrustArtifact:
+    """A fitted model plus everything needed to serve or warm-start it.
+
+    ``observations`` is optional: serving only needs the result, but
+    warm-start updates (``FittedKBT.update``) need the original extraction
+    cells, so ``save_artifact`` embeds them unless asked not to.
+    """
+
+    result: MultiLayerResult
+    config: MultiLayerConfig
+    min_triples: float
+    granularity: GranularityConfig | None = None
+    seed: int = 0
+    observations: ObservationMatrix | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Config (de)serialisation
+# ----------------------------------------------------------------------
+def config_to_dict(config: MultiLayerConfig) -> dict:
+    """JSON-safe form of a MultiLayerConfig (enums by value)."""
+    out: dict[str, Any] = {}
+    for f in dataclasses.fields(MultiLayerConfig):
+        value = getattr(config, f.name)
+        if isinstance(value, (AbsenceScope, FalseValueModel)):
+            value = value.value
+        elif isinstance(value, ConvergenceConfig):
+            value = {
+                "max_iterations": value.max_iterations,
+                "tolerance": value.tolerance,
+            }
+        out[f.name] = value
+    return out
+
+
+def config_from_dict(data: dict) -> MultiLayerConfig:
+    """Inverse of :func:`config_to_dict`; unknown keys are rejected."""
+    known = {f.name for f in dataclasses.fields(MultiLayerConfig)}
+    unknown = set(data) - known
+    if unknown:
+        raise ArtifactError(
+            f"unknown MultiLayerConfig fields in artifact: {sorted(unknown)}"
+        )
+    kwargs = dict(data)
+    if "absence_scope" in kwargs:
+        kwargs["absence_scope"] = AbsenceScope(kwargs["absence_scope"])
+    if "false_value_model" in kwargs:
+        kwargs["false_value_model"] = FalseValueModel(
+            kwargs["false_value_model"]
+        )
+    if "convergence" in kwargs:
+        kwargs["convergence"] = ConvergenceConfig(**kwargs["convergence"])
+    return MultiLayerConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Key interning
+# ----------------------------------------------------------------------
+class _Interner:
+    """Assigns stable indices to keys in first-seen order."""
+
+    def __init__(self) -> None:
+        self.index: dict[Any, int] = {}
+        self.table: list[Any] = []
+
+    def add(self, key: Any) -> int:
+        existing = self.index.get(key)
+        if existing is not None:
+            return existing
+        position = len(self.table)
+        self.index[key] = position
+        self.table.append(key)
+        return position
+
+
+def _encode_key(key: SourceKey | ExtractorKey) -> list:
+    return [list(key.features), key.bucket]
+
+
+def _decode_source(entry: list) -> SourceKey:
+    features, bucket = entry
+    return SourceKey(tuple(features), bucket=bucket)
+
+
+def _decode_extractor(entry: list) -> ExtractorKey:
+    features, bucket = entry
+    return ExtractorKey(tuple(features), bucket=bucket)
+
+
+def _check_value(value: Any) -> Any:
+    if not isinstance(value, _SCALAR_TYPES):
+        raise ArtifactError(
+            "artifact values must be JSON scalars (str/int/float/bool/"
+            f"None); got {type(value).__name__}: {value!r}"
+        )
+    return value
+
+
+# ----------------------------------------------------------------------
+# Save
+# ----------------------------------------------------------------------
+def save_artifact(
+    artifact: TrustArtifact,
+    path: str | Path,
+    payload_kind: str | None = None,
+) -> Path:
+    """Write ``artifact`` to ``path``; returns the path written.
+
+    ``payload_kind`` forces ``"npz"`` or ``"json"`` payload encoding;
+    by default npz is used when numpy is importable.
+    """
+    if payload_kind is None:
+        payload_kind = "npz" if _numpy() is not None else "json"
+    if payload_kind not in ("npz", "json"):
+        raise ArtifactError(f"unknown payload kind: {payload_kind!r}")
+    if payload_kind == "npz" and _numpy() is None:
+        raise ArtifactError('payload_kind="npz" requires numpy')
+
+    result = artifact.result
+    sources = _Interner()
+    extractors = _Interner()
+    items = _Interner()
+    values = _Interner()
+    arrays: dict[str, list] = {}
+
+    # --- source accuracies (dict order preserved) ---------------------
+    arrays["acc_source"] = [
+        sources.add(s) for s in result.source_accuracy
+    ]
+    arrays["acc_value"] = list(result.source_accuracy.values())
+
+    # --- extractor qualities ------------------------------------------
+    arrays["eq_extractor"] = [
+        extractors.add(e) for e in result.extractor_quality
+    ]
+    arrays["eq_precision"] = [
+        q.precision for q in result.extractor_quality.values()
+    ]
+    arrays["eq_recall"] = [q.recall for q in result.extractor_quality.values()]
+    arrays["eq_q"] = [q.q for q in result.extractor_quality.values()]
+
+    # --- estimable sets ------------------------------------------------
+    arrays["est_sources"] = [
+        sources.add(s) for s in result.estimable_sources
+    ]
+    arrays["est_extractors"] = [
+        extractors.add(e) for e in result.estimable_extractors
+    ]
+
+    # --- extraction posteriors (C layer) ------------------------------
+    coord_source, coord_item, coord_value, coord_p = [], [], [], []
+    for (source, item, value), p in result.extraction_posteriors.items():
+        coord_source.append(sources.add(source))
+        coord_item.append(items.add(item))
+        coord_value.append(values.add(_check_value(value)))
+        coord_p.append(p)
+    arrays["coord_source"] = coord_source
+    arrays["coord_item"] = coord_item
+    arrays["coord_value"] = coord_value
+    arrays["coord_p"] = coord_p
+
+    # --- re-estimated priors ------------------------------------------
+    prior_source, prior_item, prior_value, prior_p = [], [], [], []
+    for (source, item, value), p in result.priors.items():
+        prior_source.append(sources.add(source))
+        prior_item.append(items.add(item))
+        prior_value.append(values.add(_check_value(value)))
+        prior_p.append(p)
+    arrays["prior_source"] = prior_source
+    arrays["prior_item"] = prior_item
+    arrays["prior_value"] = prior_value
+    arrays["prior_p"] = prior_p
+
+    # --- value posteriors (V layer) -----------------------------------
+    vp_item, vp_value, vp_p = [], [], []
+    for item, posterior in result.value_posteriors.items():
+        for value, p in posterior.items():
+            vp_item.append(items.add(item))
+            vp_value.append(values.add(_check_value(value)))
+            vp_p.append(p)
+    arrays["vp_item"] = vp_item
+    arrays["vp_value"] = vp_value
+    arrays["vp_p"] = vp_p
+
+    # --- covered items with no surviving posterior entry --------------
+    arrays["vp_empty_item"] = [
+        items.add(item)
+        for item, posterior in result.value_posteriors.items()
+        if not posterior
+    ]
+
+    # --- raw observation cells (optional, enables warm-start) ---------
+    has_observations = artifact.observations is not None
+    if has_observations:
+        obs_source, obs_item, obs_value = [], [], []
+        obs_extractor, obs_conf = [], []
+        for record in artifact.observations.iter_records():
+            obs_source.append(sources.add(record.source))
+            obs_item.append(items.add(record.item))
+            obs_value.append(values.add(_check_value(record.value)))
+            obs_extractor.append(extractors.add(record.extractor))
+            obs_conf.append(record.confidence)
+        arrays["obs_source"] = obs_source
+        arrays["obs_item"] = obs_item
+        arrays["obs_value"] = obs_value
+        arrays["obs_extractor"] = obs_extractor
+        arrays["obs_conf"] = obs_conf
+
+    header = {
+        "format": FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "payload_kind": payload_kind,
+        "config": config_to_dict(artifact.config),
+        "granularity": (
+            {
+                "min_size": artifact.granularity.min_size,
+                "max_size": artifact.granularity.max_size,
+            }
+            if artifact.granularity is not None
+            else None
+        ),
+        "min_triples": artifact.min_triples,
+        "seed": artifact.seed,
+        "metadata": artifact.metadata,
+        "sources": [_encode_key(s) for s in sources.table],
+        "extractors": [_encode_key(e) for e in extractors.table],
+        "items": [[i.subject, i.predicate] for i in items.table],
+        "values": values.table,
+        "history": [
+            [h.iteration, h.max_accuracy_delta, h.max_extractor_delta]
+            for h in result.history
+        ],
+        "num_triples_total": result.num_triples_total,
+        "has_observations": has_observations,
+    }
+
+    path = Path(path)
+    # Write-then-rename: `kbt update` overwrites its input artifact in
+    # place by default, so a half-written zip must never land on the
+    # target path (disk full, Ctrl-C, ...).
+    temp_path = path.with_name(path.name + ".tmp")
+    try:
+        with zipfile.ZipFile(temp_path, "w", zipfile.ZIP_DEFLATED) as archive:
+            archive.writestr(
+                _HEADER_MEMBER, json.dumps(header, ensure_ascii=False)
+            )
+            if payload_kind == "npz":
+                np = _numpy()
+                buffer = io.BytesIO()
+                np.savez(
+                    buffer,
+                    **{
+                        name: np.asarray(
+                            data,
+                            dtype=(
+                                np.float64 if name.endswith(
+                                    ("_p", "_conf", "_precision", "_recall",
+                                     "_q")
+                                ) or name == "acc_value"
+                                else np.int64
+                            ),
+                        )
+                        for name, data in arrays.items()
+                    },
+                )
+                archive.writestr(_NPZ_MEMBER, buffer.getvalue())
+            else:
+                archive.writestr(_JSON_MEMBER, json.dumps(arrays))
+        os.replace(temp_path, path)
+    except BaseException:
+        temp_path.unlink(missing_ok=True)
+        raise
+    return path
+
+
+# ----------------------------------------------------------------------
+# Load
+# ----------------------------------------------------------------------
+def load_artifact(path: str | Path) -> TrustArtifact:
+    """Read an artifact written by :func:`save_artifact`.
+
+    Raises :class:`ArtifactError` for non-artifact files and for any
+    ``format_version`` other than the one this build writes.
+    """
+    path = Path(path)
+    try:
+        archive = zipfile.ZipFile(path)
+    except (zipfile.BadZipFile, FileNotFoundError, IsADirectoryError) as err:
+        raise ArtifactError(f"not a trust artifact: {path} ({err})") from err
+    with archive:
+        try:
+            header = json.loads(archive.read(_HEADER_MEMBER))
+        except KeyError as err:
+            raise ArtifactError(
+                f"not a trust artifact: {path} (no {_HEADER_MEMBER})"
+            ) from err
+        if header.get("format") != FORMAT_NAME:
+            raise ArtifactError(
+                f"not a trust artifact: {path} "
+                f"(format={header.get('format')!r})"
+            )
+        version = header.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ArtifactError(
+                f"unsupported artifact format version {version!r}; this "
+                f"build reads version {FORMAT_VERSION}. Re-fit and re-save "
+                "the artifact with a matching build."
+            )
+        payload_kind = header.get("payload_kind")
+        if payload_kind == "npz":
+            np = _numpy()
+            if np is None:
+                raise ArtifactError(
+                    "artifact has an npz payload but numpy is not "
+                    "installed; re-save with payload_kind='json'"
+                )
+            with np.load(io.BytesIO(archive.read(_NPZ_MEMBER))) as npz:
+                arrays = {name: npz[name].tolist() for name in npz.files}
+        elif payload_kind == "json":
+            arrays = json.loads(archive.read(_JSON_MEMBER))
+        else:
+            raise ArtifactError(
+                f"unknown payload kind in artifact: {payload_kind!r}"
+            )
+
+    sources = [_decode_source(entry) for entry in header["sources"]]
+    extractors = [_decode_extractor(entry) for entry in header["extractors"]]
+    items = [DataItem(subject, predicate)
+             for subject, predicate in header["items"]]
+    values = header["values"]
+
+    source_accuracy = {
+        sources[s]: acc
+        for s, acc in zip(arrays["acc_source"], arrays["acc_value"])
+    }
+    extractor_quality = {
+        extractors[e]: ExtractorQuality(
+            precision=precision, recall=recall, q=q
+        )
+        for e, precision, recall, q in zip(
+            arrays["eq_extractor"],
+            arrays["eq_precision"],
+            arrays["eq_recall"],
+            arrays["eq_q"],
+        )
+    }
+    extraction_posteriors = {
+        (sources[s], items[i], values[v]): p
+        for s, i, v, p in zip(
+            arrays["coord_source"],
+            arrays["coord_item"],
+            arrays["coord_value"],
+            arrays["coord_p"],
+        )
+    }
+    priors = {
+        (sources[s], items[i], values[v]): p
+        for s, i, v, p in zip(
+            arrays["prior_source"],
+            arrays["prior_item"],
+            arrays["prior_value"],
+            arrays["prior_p"],
+        )
+    }
+    value_posteriors: dict[DataItem, dict] = {}
+    for i, v, p in zip(arrays["vp_item"], arrays["vp_value"], arrays["vp_p"]):
+        value_posteriors.setdefault(items[i], {})[values[v]] = p
+    for i in arrays.get("vp_empty_item", []):
+        value_posteriors.setdefault(items[i], {})
+
+    result = MultiLayerResult(
+        value_posteriors=value_posteriors,
+        extraction_posteriors=extraction_posteriors,
+        source_accuracy=source_accuracy,
+        extractor_quality=extractor_quality,
+        estimable_sources={sources[s] for s in arrays["est_sources"]},
+        estimable_extractors={
+            extractors[e] for e in arrays["est_extractors"]
+        },
+        num_triples_total=header["num_triples_total"],
+        history=[
+            IterationSnapshot(iteration, acc_delta, ext_delta)
+            for iteration, acc_delta, ext_delta in header["history"]
+        ],
+        priors=priors,
+    )
+
+    observations = None
+    if header.get("has_observations"):
+        observations = ObservationMatrix.from_records(
+            ExtractionRecord(
+                extractor=extractors[e],
+                source=sources[s],
+                item=items[i],
+                value=values[v],
+                confidence=conf,
+            )
+            for s, i, v, e, conf in zip(
+                arrays["obs_source"],
+                arrays["obs_item"],
+                arrays["obs_value"],
+                arrays["obs_extractor"],
+                arrays["obs_conf"],
+            )
+        )
+
+    granularity = None
+    if header.get("granularity") is not None:
+        granularity = GranularityConfig(**header["granularity"])
+
+    return TrustArtifact(
+        result=result,
+        config=config_from_dict(header["config"]),
+        min_triples=header["min_triples"],
+        granularity=granularity,
+        seed=header.get("seed", 0),
+        observations=observations,
+        metadata=header.get("metadata", {}),
+    )
+
+
+def _numpy():
+    """numpy, or None when the array stack is unavailable."""
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy

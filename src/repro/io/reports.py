@@ -8,18 +8,35 @@ from pathlib import Path
 from repro.core.kbt import KBTScore
 
 
+def _key_text(key: object) -> str:
+    """The rendered form of a score key (tuples join with '|')."""
+    if isinstance(key, tuple):
+        return "|".join(str(part) for part in key)
+    return str(key)
+
+
+def score_sort_key(score: KBTScore) -> tuple[float, str]:
+    """Descending score, ties broken on the rendered key.
+
+    The one ranking rule shared by the CSV writer, the CLI summary, and
+    the serving store, so equal fits rank identically everywhere.
+    """
+    return (-score.score, _key_text(score.key))
+
+
 def write_score_csv(
     scores: dict[object, KBTScore], path: str | Path
 ) -> int:
-    """Write (key, kbt, support) rows sorted by descending trust."""
-    ordered = sorted(scores.values(), key=lambda s: -s.score)
+    """Write (key, kbt, support) rows sorted by descending trust.
+
+    Ties break on the rendered key, so the output is deterministic for
+    any input dict ordering — equal fits produce byte-identical files.
+    """
+    ordered = sorted(scores.values(), key=score_sort_key)
     with open(path, "w", encoding="utf-8", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(["key", "kbt", "support"])
         for score in ordered:
-            key = score.key
-            if isinstance(key, tuple):
-                key = "|".join(str(part) for part in key)
-            writer.writerow([key, f"{score.score:.6f}",
+            writer.writerow([_key_text(score.key), f"{score.score:.6f}",
                              f"{score.support:.2f}"])
     return len(ordered)

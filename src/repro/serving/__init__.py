@@ -1,0 +1,17 @@
+"""Online consumption of fitted KBT models: the *query* stage.
+
+The paper's deployment story (Section 5) is offline estimation followed by
+online lookup of KBT scores for hundreds of millions of pages. This package
+is that split:
+
+* :mod:`repro.serving.store` — :class:`TrustStore`, an in-memory read view
+  over a persisted trust artifact with O(1) score lookups, ranked ``top``,
+  percentiles, and per-site provenance breakdowns;
+* :mod:`repro.serving.http` — a stdlib ``http.server`` JSON endpoint over
+  a ``TrustStore`` (``kbt serve``).
+"""
+
+from repro.serving.http import TrustServer, serve
+from repro.serving.store import TrustStore
+
+__all__ = ["TrustServer", "TrustStore", "serve"]

@@ -1,0 +1,210 @@
+"""A stdlib JSON/HTTP endpoint over a :class:`TrustStore` (``kbt serve``).
+
+Routes (all GET, all JSON):
+
+* ``/healthz`` — store stats: ``{"status": "ok", "websites": N, ...}``
+* ``/score?site=SITE`` — one website's score
+* ``/page?site=SITE&page=URL`` — one webpage's score
+* ``/batch?sites=A,B,C`` — many websites at once (null for unscored)
+* ``/top?k=10`` — the k most trustworthy websites
+* ``/percentile?site=SITE`` — the site's score percentile
+* ``/breakdown?site=SITE`` — provenance: contributing model sources
+
+Unknown sites return 404 with ``{"error": ...}``; malformed parameters
+400; unknown routes 404. The server is a ``ThreadingHTTPServer`` so slow
+clients do not serialise lookups (the store is immutable — concurrent
+reads are safe).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serving.store import TrustStore
+
+
+class TrustRequestHandler(BaseHTTPRequestHandler):
+    """Routes one request against the server's ``store`` attribute."""
+
+    server_version = "kbt-serve/1"
+
+    # Silence the default stderr-per-request logging; opt back in with
+    # ``TrustServer(..., log_requests=True)``.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "log_requests", False):
+            super().log_message(format, *args)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        store: TrustStore = self.server.store  # type: ignore[attr-defined]
+        url = urlsplit(self.path)
+        params = parse_qs(url.query)
+        try:
+            handler = {
+                "/healthz": self._healthz,
+                "/score": self._score,
+                "/page": self._page,
+                "/batch": self._batch,
+                "/top": self._top,
+                "/percentile": self._percentile,
+                "/breakdown": self._breakdown,
+            }.get(url.path)
+            if handler is None:
+                self._send(404, {"error": f"unknown route: {url.path}"})
+                return
+            handler(store, params)
+        except _BadRequest as err:
+            self._send(400, {"error": str(err)})
+
+    # ------------------------------------------------------------------
+    # Route handlers
+    # ------------------------------------------------------------------
+    def _healthz(self, store: TrustStore, params) -> None:
+        self._send(200, store.stats_json())
+
+    def _score(self, store: TrustStore, params) -> None:
+        site = _require(params, "site")
+        payload = store.score_json(site)
+        if payload is None:
+            self._send(404, {"error": f"no score for website: {site}"})
+        else:
+            self._send(200, payload)
+
+    def _page(self, store: TrustStore, params) -> None:
+        site = _require(params, "site")
+        page = _require(params, "page")
+        payload = store.page_json(site, page)
+        if payload is None:
+            self._send(
+                404, {"error": f"no score for webpage: {site} {page}"}
+            )
+        else:
+            self._send(200, payload)
+
+    def _batch(self, store: TrustStore, params) -> None:
+        sites = [
+            site for site in _require(params, "sites").split(",") if site
+        ]
+        self._send(200, store.batch_json(sites))
+
+    def _top(self, store: TrustStore, params) -> None:
+        raw = params.get("k", ["10"])[0]
+        try:
+            k = int(raw)
+            if k < 0:
+                raise ValueError
+        except ValueError:
+            raise _BadRequest(f"k must be a non-negative integer: {raw!r}")
+        self._send(200, store.top_json(k))
+
+    def _percentile(self, store: TrustStore, params) -> None:
+        site = _require(params, "site")
+        percentile = store.percentile(site)
+        if percentile is None:
+            self._send(404, {"error": f"no score for website: {site}"})
+        else:
+            self._send(200, {"key": site, "percentile": percentile})
+
+    def _breakdown(self, store: TrustStore, params) -> None:
+        site = _require(params, "site")
+        payload = store.breakdown(site)
+        if payload is None:
+            self._send(404, {"error": f"no score for website: {site}"})
+        else:
+            self._send(200, payload)
+
+    # ------------------------------------------------------------------
+    def _send(self, status: int, payload) -> None:
+        body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class _BadRequest(Exception):
+    """A malformed query string; rendered as HTTP 400."""
+
+
+def _require(params: dict, name: str) -> str:
+    values = params.get(name)
+    if not values or not values[0]:
+        raise _BadRequest(f"missing query parameter: {name}")
+    return values[0]
+
+
+class TrustServer:
+    """A ``TrustStore`` behind a threaded HTTP server.
+
+    ``port=0`` binds an ephemeral port (useful in tests); the bound
+    address is available as :attr:`address` after construction. Use as a
+    context manager, or call :meth:`start` / :meth:`shutdown` directly.
+    """
+
+    def __init__(
+        self,
+        store: TrustStore,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        log_requests: bool = False,
+    ) -> None:
+        self._httpd = ThreadingHTTPServer((host, port), TrustRequestHandler)
+        self._httpd.store = store  # type: ignore[attr-defined]
+        self._httpd.log_requests = log_requests  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) actually bound."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "TrustServer":
+        """Serve in a daemon thread; returns self."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path)."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "TrustServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def serve(
+    store: TrustStore,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    log_requests: bool = True,
+) -> None:
+    """Blocking convenience wrapper used by ``kbt serve``."""
+    server = TrustServer(
+        store, host=host, port=port, log_requests=log_requests
+    )
+    host, bound_port = server.address
+    print(f"serving {len(store)} website scores on http://{host}:{bound_port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,178 @@
+"""The ``TrustStore`` facade: O(1) KBT lookups over a fitted artifact.
+
+A store is built once from a :class:`~repro.io.artifact.TrustArtifact`
+(or straight from a file via :meth:`TrustStore.open`) and then serves
+read-only queries: per-website and per-webpage scores, batched lookups,
+the top-k ranking, score percentiles, and a provenance ``breakdown`` that
+explains which model sources contribute to a website's score with what
+accuracy and extraction support.
+
+All aggregation happens at construction; every query after that is a dict
+lookup (or a bisect for percentiles).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.core.kbt import KBTReport, KBTScore
+from repro.io.artifact import TrustArtifact, load_artifact
+from repro.io.reports import score_sort_key
+
+
+def _score_json(score: KBTScore) -> dict:
+    """The JSON-endpoint form of one score."""
+    key = score.key
+    if isinstance(key, tuple):
+        key = list(key)
+    return {"key": key, "score": score.score, "support": score.support}
+
+
+class TrustStore:
+    """In-memory serving view over one fitted KBT artifact."""
+
+    def __init__(self, artifact: TrustArtifact) -> None:
+        self._artifact = artifact
+        report = KBTReport(artifact.result, artifact.min_triples)
+        self._site_scores = report.website_scores()
+        self._page_scores = report.webpage_scores()
+        #: descending score, ties broken by key for a stable ranking.
+        self._ranked = sorted(
+            self._site_scores.values(), key=score_sort_key
+        )
+        #: ascending score values, for percentile bisection.
+        self._sorted_scores = sorted(
+            score.score for score in self._site_scores.values()
+        )
+        #: website -> contributing model sources (provenance breakdown).
+        support = report.source_support
+        self._contributors: dict[str, list[tuple]] = {}
+        for source, accuracy in artifact.result.source_accuracy.items():
+            source_support = support.get(source, 0.0)
+            if source_support <= 0.0:
+                continue
+            self._contributors.setdefault(source.website, []).append(
+                (source, accuracy, source_support)
+            )
+
+    @classmethod
+    def open(cls, path: str | Path) -> "TrustStore":
+        """Load an artifact from disk and build the store."""
+        return cls(load_artifact(path))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def artifact(self) -> TrustArtifact:
+        return self._artifact
+
+    @property
+    def min_triples(self) -> float:
+        return self._artifact.min_triples
+
+    def __len__(self) -> int:
+        return len(self._site_scores)
+
+    def __contains__(self, website: str) -> bool:
+        return website in self._site_scores
+
+    def websites(self) -> Iterator[str]:
+        """Websites that cleared the reporting threshold."""
+        return iter(self._site_scores)
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._page_scores)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def score(self, website: str) -> KBTScore | None:
+        """The website's KBT score, or None when unscored."""
+        return self._site_scores.get(website)
+
+    def score_page(self, website: str, page: str) -> KBTScore | None:
+        """The (website, webpage) KBT score, or None when unscored."""
+        return self._page_scores.get((website, page))
+
+    def batch(self, keys: Iterable[str]) -> dict[str, KBTScore | None]:
+        """Look up many websites at once (None for unscored keys)."""
+        scores = self._site_scores
+        return {key: scores.get(key) for key in keys}
+
+    def top(self, k: int = 10) -> list[KBTScore]:
+        """The ``k`` most trustworthy websites, best first."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        return self._ranked[:k]
+
+    def percentile(self, website: str) -> float | None:
+        """Share of scored websites at or below this site's score (0-100)."""
+        score = self._site_scores.get(website)
+        if score is None:
+            return None
+        rank = bisect_right(self._sorted_scores, score.score)
+        return 100.0 * rank / len(self._sorted_scores)
+
+    def breakdown(self, website: str) -> dict | None:
+        """Why a website scores what it scores, or None when unscored.
+
+        Returns the aggregate score/support/percentile plus every model
+        source contributing to the support-weighted average: its key,
+        granularity level, accuracy, and extraction support.
+        """
+        score = self._site_scores.get(website)
+        if score is None:
+            return None
+        contributors = [
+            {
+                "source": str(source),
+                "features": list(source.features),
+                "level": source.level,
+                "accuracy": accuracy,
+                "support": source_support,
+            }
+            for source, accuracy, source_support in sorted(
+                self._contributors.get(website, ()),
+                key=lambda entry: -entry[2],
+            )
+        ]
+        return {
+            "key": website,
+            "score": score.score,
+            "support": score.support,
+            "percentile": self.percentile(website),
+            "num_sources": len(contributors),
+            "sources": contributors,
+        }
+
+    # ------------------------------------------------------------------
+    # JSON views (shared by the HTTP endpoint and ``kbt query``)
+    # ------------------------------------------------------------------
+    def score_json(self, website: str) -> dict | None:
+        score = self.score(website)
+        return None if score is None else _score_json(score)
+
+    def page_json(self, website: str, page: str) -> dict | None:
+        score = self.score_page(website, page)
+        return None if score is None else _score_json(score)
+
+    def batch_json(self, keys: Iterable[str]) -> dict:
+        return {
+            key: (None if score is None else _score_json(score))
+            for key, score in self.batch(keys).items()
+        }
+
+    def top_json(self, k: int = 10) -> list[dict]:
+        return [_score_json(score) for score in self.top(k)]
+
+    def stats_json(self) -> dict:
+        return {
+            "status": "ok",
+            "websites": len(self),
+            "pages": self.num_pages,
+            "min_triples": self.min_triples,
+        }

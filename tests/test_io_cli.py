@@ -96,6 +96,31 @@ class TestScoreCsv:
         write_score_csv(scores, path)
         assert "a.com|a.com/p" in path.read_text()
 
+    def test_ties_break_on_key(self, tmp_path):
+        path = tmp_path / "scores.csv"
+        scores = {
+            "b.com": KBTScore("b.com", 0.5, 10.0),
+            "a.com": KBTScore("a.com", 0.5, 7.0),
+            "c.com": KBTScore("c.com", 0.5, 3.0),
+        }
+        write_score_csv(scores, path)
+        keys = [line.split(",")[0]
+                for line in path.read_text().strip().splitlines()[1:]]
+        assert keys == ["a.com", "b.com", "c.com"]
+
+    def test_output_deterministic_across_dict_orders(self, tmp_path):
+        entries = [
+            ("b.com", 0.5, 10.0), ("a.com", 0.5, 7.0), ("x.com", 0.9, 1.0)
+        ]
+        forward = {k: KBTScore(k, s, n) for k, s, n in entries}
+        backward = {
+            k: KBTScore(k, s, n) for k, s, n in reversed(entries)
+        }
+        path_a, path_b = tmp_path / "a.csv", tmp_path / "b.csv"
+        write_score_csv(forward, path_a)
+        write_score_csv(backward, path_b)
+        assert path_a.read_bytes() == path_b.read_bytes()
+
 
 class TestCli:
     def test_demo_then_estimate(self, tmp_path, capsys):
@@ -139,6 +164,116 @@ class TestCli:
         ) == 1
         assert "support threshold" in capsys.readouterr().err
 
+    def test_estimate_prints_deprecation(self, tmp_path, capsys):
+        path = tmp_path / "records.jsonl"
+        write_records(sample_records(), path)
+        main(["estimate", str(path), "--min-triples", "0"])
+        assert "deprecated" in capsys.readouterr().err
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestLifecycleCli:
+    """demo -> fit -> query/update round trips through the CLI."""
+
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("lifecycle")
+        demo = root / "demo.jsonl"
+        artifact = root / "model.kbt"
+        assert main([
+            "demo", str(demo), "--websites", "30", "--systems", "4",
+            "--items-per-predicate", "15", "--seed", "5",
+        ]) == 0
+        assert main(["fit", str(demo), "--artifact", str(artifact)]) == 0
+        return root, demo, artifact
+
+    def query_json(self, capsys, argv):
+        assert main(argv) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_fit_writes_loadable_artifact(self, artifact, capsys):
+        _root, _demo, path = artifact
+        payload = self.query_json(
+            capsys, ["query", str(path), "--stats"]
+        )
+        assert payload["status"] == "ok"
+        assert payload["websites"] > 0
+
+    def test_query_matches_estimate_scores(self, artifact, capsys):
+        _root, demo, path = artifact
+        top = self.query_json(capsys, ["query", str(path), "--top", "3"])
+        assert len(top) == 3
+        assert top[0]["score"] >= top[-1]["score"]
+        site = top[0]["key"]
+        single = self.query_json(
+            capsys, ["query", str(path), "--site", site]
+        )
+        assert single == top[0]
+        breakdown = self.query_json(
+            capsys, ["query", str(path), "--breakdown", site]
+        )
+        assert breakdown["num_sources"] >= 1
+
+    def test_query_unknown_site_fails(self, artifact, capsys):
+        _root, _demo, path = artifact
+        assert main(["query", str(path), "--site", "nosuch"]) == 1
+        assert "no score" in capsys.readouterr().err
+
+    def test_update_cli_round_trip(self, artifact, capsys):
+        root, demo, path = artifact
+        new = root / "new.jsonl"
+        new_records = [
+            ExtractionRecord(
+                extractor=ExtractorKey(("sys",)),
+                source=SourceKey(
+                    ("fresh.example", "p", f"fresh.example/{i % 2}")
+                ),
+                item=DataItem(f"item{i}", "p"),
+                value=f"v{i}",
+            )
+            for i in range(8)
+        ]
+        write_records(new_records, new)
+        out = root / "updated.kbt"
+        assert main([
+            "update", str(path), str(new), "--artifact-out", str(out),
+            "--sweeps", "2",
+        ]) == 0
+        capsys.readouterr()
+        payload = self.query_json(
+            capsys, ["query", str(out), "--site", "fresh.example"]
+        )
+        assert payload["key"] == "fresh.example"
+
+    def test_update_refuses_serving_only_artifact(
+        self, artifact, capsys
+    ):
+        root, demo, path = artifact
+        slim = root / "slim.kbt"
+        assert main([
+            "fit", str(demo), "--artifact", str(slim), "--no-observations",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["update", str(slim), str(demo)]) == 1
+        assert "observation" in capsys.readouterr().err
+
+    def test_query_rejects_future_artifact(self, artifact, tmp_path, capsys):
+        import zipfile
+
+        _root, _demo, path = artifact
+        future = tmp_path / "future.kbt"
+        with zipfile.ZipFile(path) as archive:
+            members = {
+                name: archive.read(name) for name in archive.namelist()
+            }
+        header = json.loads(members["header.json"])
+        header["format_version"] += 1
+        members["header.json"] = json.dumps(header)
+        with zipfile.ZipFile(future, "w") as archive:
+            for name, data in members.items():
+                archive.writestr(name, data)
+        assert main(["query", str(future), "--stats"]) == 1
+        assert "format version" in capsys.readouterr().err

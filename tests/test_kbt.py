@@ -3,8 +3,9 @@
 import pytest
 
 from repro.core.config import GranularityConfig, MultiLayerConfig
-from repro.core.kbt import KBTEstimator
+from repro.core.kbt import KBTEstimator, KBTReport
 from repro.core.observation import ObservationMatrix
+from repro.core.results import MultiLayerResult
 from repro.core.types import (
     DataItem,
     ExtractionRecord,
@@ -85,6 +86,111 @@ class TestEstimator:
         report = KBTEstimator().estimate(two_site_corpus())
         scores = report.website_scores()
         assert scores["good.com"].support == pytest.approx(12.0, abs=1.0)
+
+
+def build_result(entries):
+    """A MultiLayerResult with hand-chosen accuracies and C posteriors.
+
+    ``entries`` is a list of (source, accuracy, [p_correct, ...]); each
+    p_correct becomes one extraction posterior, so a source's support is
+    exactly ``sum(p_corrects)``.
+    """
+    source_accuracy = {}
+    extraction_posteriors = {}
+    for index, (source, accuracy, p_corrects) in enumerate(entries):
+        source_accuracy[source] = accuracy
+        for claim, p in enumerate(p_corrects):
+            item = DataItem(f"s{index}_{claim}", "p")
+            extraction_posteriors[(source, item, f"v{index}_{claim}")] = p
+    return MultiLayerResult(
+        value_posteriors={},
+        extraction_posteriors=extraction_posteriors,
+        source_accuracy=source_accuracy,
+        extractor_quality={},
+        estimable_sources=set(source_accuracy),
+        estimable_extractors=set(),
+        num_triples_total=len(extraction_posteriors),
+        history=[],
+    )
+
+
+class TestValidation:
+    def test_negative_min_triples_rejected_by_estimator(self):
+        with pytest.raises(ValueError, match="min_triples"):
+            KBTEstimator(min_triples=-1.0)
+
+    def test_negative_min_triples_rejected_by_report(self):
+        result = build_result([(SourceKey(("a.com",)), 0.9, [1.0])])
+        with pytest.raises(ValueError, match="min_triples"):
+            KBTReport(result, min_triples=-0.5)
+
+    def test_zero_min_triples_accepted(self):
+        result = build_result([(SourceKey(("a.com",)), 0.9, [1.0])])
+        assert KBTReport(result, min_triples=0.0).website_scores()
+
+
+class TestAggregationEdgeCases:
+    def test_source_below_support_excluded_everywhere(self):
+        thin = page_source("thin.com", "p", "thin.com/p")
+        result = build_result([(thin, 0.9, [1.0, 1.0])])  # support 2 < 5
+        report = KBTReport(result, min_triples=5.0)
+        assert thin not in report.source_scores()
+        assert "thin.com" not in report.website_scores()
+        assert ("thin.com", "thin.com/p") not in report.webpage_scores()
+
+    def test_zero_support_source_contributes_nothing(self):
+        """An accuracy entry with no extraction mass must not divide by 0
+        or drag the site average."""
+        strong = page_source("a.com", "p", "a.com/1")
+        ghost = page_source("a.com", "p", "a.com/2")
+        result = build_result([
+            (strong, 0.9, [1.0] * 6),
+            (ghost, 0.1, []),  # accuracy exists, support is zero
+        ])
+        report = KBTReport(result, min_triples=5.0)
+        assert report.website_scores()["a.com"].score == pytest.approx(0.9)
+
+    def test_level_below_3_source_has_no_webpage(self):
+        """Website- and predicate-level sources carry no URL: they count
+        toward the website score but never appear in webpage_scores."""
+        site_level = SourceKey(("a.com",))
+        predicate_level = SourceKey(("a.com", "p"))
+        page_level = page_source("a.com", "p", "a.com/page")
+        result = build_result([
+            (site_level, 0.8, [1.0] * 6),
+            (predicate_level, 0.6, [1.0] * 6),
+            (page_level, 0.9, [1.0] * 6),
+        ])
+        report = KBTReport(result, min_triples=5.0)
+        pages = report.webpage_scores()
+        assert list(pages) == [("a.com", "a.com/page")]
+        assert pages[("a.com", "a.com/page")].score == pytest.approx(0.9)
+        site = report.website_scores()["a.com"]
+        assert site.support == pytest.approx(18.0)
+
+    def test_support_weighted_average(self):
+        """The site score is the support-weighted mean of its sources."""
+        page1 = page_source("a.com", "p", "a.com/1")
+        page2 = page_source("a.com", "p", "a.com/2")
+        result = build_result([
+            (page1, 0.9, [1.0, 1.0, 1.0]),      # support 3 at 0.9
+            (page2, 0.5, [1.0, 0.5, 0.5]),      # support 2 at 0.5
+        ])
+        report = KBTReport(result, min_triples=5.0)
+        score = report.website_scores()["a.com"]
+        assert score.score == pytest.approx((3 * 0.9 + 2 * 0.5) / 5)
+        assert score.support == pytest.approx(5.0)
+
+    def test_group_below_threshold_excluded(self):
+        """Sources each above zero support but jointly under min_triples."""
+        page1 = page_source("b.com", "p", "b.com/1")
+        page2 = page_source("b.com", "p", "b.com/2")
+        result = build_result([
+            (page1, 0.9, [1.0, 1.0]),
+            (page2, 0.5, [1.0, 1.0]),
+        ])
+        assert "b.com" not in KBTReport(result, 5.0).website_scores()
+        assert "b.com" in KBTReport(result, 4.0).website_scores()
 
 
 class TestGranularityIntegration:

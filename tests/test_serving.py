@@ -1,0 +1,185 @@
+"""Unit tests for the TrustStore facade and its HTTP endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.kbt import KBTEstimator
+from repro.core.types import (
+    DataItem,
+    ExtractionRecord,
+    ExtractorKey,
+    page_source,
+)
+from repro.serving.http import TrustServer
+from repro.serving.store import TrustStore
+
+
+def page_records(website, url, extractor, items, value_fn):
+    return [
+        ExtractionRecord(
+            extractor=ExtractorKey((extractor,)),
+            source=page_source(website, "p", url),
+            item=DataItem(s, "p"),
+            value=value_fn(s),
+        )
+        for s in items
+    ]
+
+
+def corpus():
+    records = []
+    subjects = [f"s{i}" for i in range(12)]
+    for i, site in enumerate(("a.com", "b.com", "c.com", "good.com")):
+        records.extend(
+            page_records(site, f"{site}/p", f"e{i % 2}", subjects,
+                         lambda s: f"true-{s}")
+        )
+    records.extend(
+        page_records("bad.com", "bad.com/p", "e0", subjects,
+                     lambda s: f"false-{s}")
+    )
+    return records
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    path = tmp_path_factory.mktemp("artifacts") / "model.kbt"
+    KBTEstimator().fit(corpus()).save(path)
+    return TrustStore.open(path)
+
+
+class TestStoreQueries:
+    def test_score_matches_report(self, store):
+        fitted_scores = KBTEstimator().fit(corpus()).website_scores()
+        for site, expected in fitted_scores.items():
+            assert store.score(site) == expected
+
+    def test_unknown_site_is_none(self, store):
+        assert store.score("nosuch.example") is None
+        assert store.percentile("nosuch.example") is None
+        assert store.breakdown("nosuch.example") is None
+
+    def test_score_page(self, store):
+        assert store.score_page("good.com", "good.com/p") is not None
+        assert store.score_page("good.com", "nosuch.html") is None
+
+    def test_batch_mixes_hits_and_misses(self, store):
+        result = store.batch(["good.com", "nosuch.example", "bad.com"])
+        assert result["good.com"].score > result["bad.com"].score
+        assert result["nosuch.example"] is None
+
+    def test_top_is_ranked_descending(self, store):
+        top = store.top(len(store) + 5)
+        assert len(top) == len(store)
+        scores = [score.score for score in top]
+        assert scores == sorted(scores, reverse=True)
+        assert top[0].key != "bad.com"
+
+    def test_top_zero_and_negative(self, store):
+        assert store.top(0) == []
+        with pytest.raises(ValueError):
+            store.top(-1)
+
+    def test_percentile_bounds(self, store):
+        best = store.top(1)[0]
+        assert store.percentile(best.key) == 100.0
+        for site in store.websites():
+            assert 0.0 < store.percentile(site) <= 100.0
+
+    def test_breakdown_explains_score(self, store):
+        breakdown = store.breakdown("good.com")
+        assert breakdown["key"] == "good.com"
+        assert breakdown["num_sources"] == len(breakdown["sources"])
+        assert breakdown["num_sources"] >= 1
+        # Support-weighted average of the contributors is the score.
+        numer = sum(
+            s["accuracy"] * s["support"] for s in breakdown["sources"]
+        )
+        denom = sum(s["support"] for s in breakdown["sources"])
+        assert breakdown["score"] == pytest.approx(numer / denom)
+        assert breakdown["support"] == pytest.approx(denom)
+
+    def test_contains_and_len(self, store):
+        assert "good.com" in store
+        assert "nosuch.example" not in store
+        assert len(store) == len(list(store.websites()))
+
+
+class TestHttpEndpoint:
+    @pytest.fixture(scope="class")
+    def server(self, store):
+        with TrustServer(store, port=0) as running:
+            yield running
+
+    def get(self, server, path):
+        with urllib.request.urlopen(server.url + path, timeout=5) as resp:
+            return resp.status, json.loads(resp.read())
+
+    def get_error(self, server, path):
+        try:
+            urllib.request.urlopen(server.url + path, timeout=5)
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+        raise AssertionError(f"{path} unexpectedly succeeded")
+
+    def test_healthz(self, server, store):
+        status, payload = self.get(server, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["websites"] == len(store)
+
+    def test_score_lookup(self, server, store):
+        status, payload = self.get(server, "/score?site=good.com")
+        assert status == 200
+        assert payload["key"] == "good.com"
+        assert payload["score"] == store.score("good.com").score
+
+    def test_page_lookup(self, server):
+        status, payload = self.get(
+            server, "/page?site=good.com&page=good.com/p"
+        )
+        assert status == 200
+        assert payload["key"] == ["good.com", "good.com/p"]
+
+    def test_batch_lookup(self, server):
+        status, payload = self.get(server, "/batch?sites=good.com,nosuch")
+        assert status == 200
+        assert payload["nosuch"] is None
+        assert payload["good.com"]["score"] > 0.5
+
+    def test_top(self, server, store):
+        status, payload = self.get(server, "/top?k=3")
+        assert status == 200
+        assert [entry["key"] for entry in payload] == [
+            score.key for score in store.top(3)
+        ]
+
+    def test_percentile_and_breakdown(self, server, store):
+        status, payload = self.get(server, "/percentile?site=good.com")
+        assert status == 200
+        assert payload["percentile"] == store.percentile("good.com")
+        status, payload = self.get(server, "/breakdown?site=good.com")
+        assert status == 200
+        assert payload["num_sources"] >= 1
+
+    def test_unknown_site_404(self, server):
+        code, payload = self.get_error(server, "/score?site=nosuch")
+        assert code == 404
+        assert "no score" in payload["error"]
+
+    def test_missing_param_400(self, server):
+        code, payload = self.get_error(server, "/score")
+        assert code == 400
+        assert "site" in payload["error"]
+
+    def test_bad_k_400(self, server):
+        code, _ = self.get_error(server, "/top?k=banana")
+        assert code == 400
+
+    def test_unknown_route_404(self, server):
+        code, payload = self.get_error(server, "/nope")
+        assert code == 404
+        assert "unknown route" in payload["error"]
