@@ -25,7 +25,7 @@ from repro.web.pagerank import pagerank
 
 def run_fig10(kv_corpus) -> tuple[str, dict]:
     estimator = KBTEstimator(config=MULTI_LAYER_CONFIG, min_triples=5.0)
-    report = estimator.estimate(kv_corpus.observation())
+    report = estimator.fit(kv_corpus.observation()).report
     kbt = {site: s.score for site, s in report.website_scores().items()}
     graph = generate_web_graph(kv_corpus.site_popularity(), seed=5)
     ranks = pagerank(graph)

@@ -16,7 +16,7 @@ NUM_BINS = 20
 
 def run_fig7(kv_corpus) -> tuple[str, dict]:
     estimator = KBTEstimator(config=MULTI_LAYER_CONFIG, min_triples=5.0)
-    report = estimator.estimate(kv_corpus.observation())
+    report = estimator.fit(kv_corpus.observation()).report
     scores = [s.score for s in report.website_scores().values()]
     counts = [0] * NUM_BINS
     for score in scores:

@@ -1,0 +1,216 @@
+"""Trust-signal suite benchmark: per-provider fit cost + fused serving.
+
+The unified signal API exists so one corpus pass can produce every trust
+signal and serve them fused; this bench tracks that path on a KV-scale
+corpus with a real (synthetic-hyperlink) web graph and writes
+``benchmarks/results/BENCH_signals.json``:
+
+* per-provider fit wall time and website coverage;
+* the calibrated fusion weights (gold labels from the generator's true
+  site accuracies) and the KBT-vs-PageRank correlation — the Figure 10
+  orthogonality check on the served surface;
+* artifact round-trip cost with signals embedded, and serving latency of
+  fused-score and per-signal breakdown lookups through a ``TrustStore``.
+
+Set ``SIGNALS_BENCH_SCALE=smoke`` for the reduced CI corpus; correctness
+assertions (signal coverage, fused separation of cohorts) still run, the
+timings are recorded but not gated.
+"""
+
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR, save_result
+
+from repro.core.config import (
+    AbsenceScope,
+    ConvergenceConfig,
+    MultiLayerConfig,
+)
+from repro.core.kbt import KBTEstimator
+from repro.datasets.kv import KVConfig, generate_kv
+from repro.serving.store import TrustStore
+from repro.signals import CorpusContext, SignalSuite, fuse
+from repro.util.tables import format_table
+from repro.web.graph import generate_web_graph
+
+SMOKE = os.environ.get("SIGNALS_BENCH_SCALE") == "smoke"
+
+SIGNALS_KV_CONFIG = KVConfig(
+    num_websites=200 if SMOKE else 800,
+    items_per_predicate=40 if SMOKE else 80,
+    num_systems=8 if SMOKE else 16,
+    broad_pattern_fraction=0.6,
+    seed=23,
+)
+
+SIGNALS_MODEL_CONFIG = MultiLayerConfig(
+    absence_scope=AbsenceScope.ACTIVE,
+    engine="numpy",
+    convergence=ConvergenceConfig(max_iterations=5, tolerance=1e-4),
+)
+
+FUSED_LOOKUPS = 5_000
+BREAKDOWN_LOOKUPS = 2_000
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def run_signals_bench(tmp_dir: str) -> tuple[str, dict]:
+    corpus = generate_kv(SIGNALS_KV_CONFIG)
+    observations = corpus.observation()
+    graph = generate_web_graph(corpus.site_popularity(), seed=5)
+    gold = {
+        site: accuracy >= 0.5
+        for site, accuracy in corpus.true_site_accuracy.items()
+    }
+    context = CorpusContext(
+        observations=observations,
+        graph=graph,
+        gold_labels=gold,
+        config=SIGNALS_MODEL_CONFIG,
+        min_triples=5.0,
+    )
+    suite = SignalSuite()
+
+    # --- per-provider fit cost (sequential, so timings are attributable)
+    provider_stats = {}
+    results = []
+    for name in suite.names:
+        start = time.perf_counter()
+        scores = suite.provider(name).fit(context)
+        elapsed = time.perf_counter() - start
+        provider_stats[name] = {
+            "fit_s": elapsed,
+            "websites": len(scores),
+        }
+        results.append(scores)
+    from repro.signals.frame import SignalFrame
+
+    frame = SignalFrame(results)
+    fusion = fuse(frame, gold_labels=gold)
+    compare = frame.compare("kbt", "pagerank", k=10)
+
+    # --- artifact round trip with signals embedded ---------------------
+    artifact_path = os.path.join(tmp_dir, "signals_bench.kbt")
+    signals = {name: frame.signal(name) for name in frame.names}
+    start = time.perf_counter()
+    context.fitted_kbt().save(
+        artifact_path, signals=signals, fusion_weights=fusion.weights
+    )
+    save_s = time.perf_counter() - start
+    start = time.perf_counter()
+    store = TrustStore.open(artifact_path)
+    load_s = time.perf_counter() - start
+    assert store.signal_names() == suite.names
+
+    # --- fused-query latency ------------------------------------------
+    sites = sorted(fusion.scores)
+    fused_us = []
+    for i in range(FUSED_LOOKUPS):
+        site = sites[i % len(sites)]
+        t0 = time.perf_counter_ns()
+        store.fused_score(site)
+        fused_us.append((time.perf_counter_ns() - t0) / 1_000.0)
+    breakdown_us = []
+    for i in range(BREAKDOWN_LOOKUPS):
+        site = sites[i % len(sites)]
+        t0 = time.perf_counter_ns()
+        store.signal_breakdown(site)
+        breakdown_us.append((time.perf_counter_ns() - t0) / 1_000.0)
+
+    # --- sanity: fusion separates the cohorts --------------------------
+    cohorts = corpus.cohorts()
+    gossip = [
+        fusion.scores[s] for s in sites if cohorts.get(s) == "gossip"
+    ]
+    tail = [
+        fusion.scores[s] for s in sites if cohorts.get(s) == "tail-quality"
+    ]
+    mean_gossip = sum(gossip) / len(gossip) if gossip else float("nan")
+    mean_tail = sum(tail) / len(tail) if tail else float("nan")
+
+    stats = {
+        "scale": "smoke" if SMOKE else "full",
+        "corpus": {
+            "records": observations.num_records,
+            "websites": SIGNALS_KV_CONFIG.num_websites,
+            "graph_edges": graph.num_edges,
+        },
+        "providers": provider_stats,
+        "fusion": {
+            "weights": fusion.weights,
+            "deviations": fusion.deviations,
+            "fused_websites": len(fusion.scores),
+            "mean_fused_gossip": mean_gossip,
+            "mean_fused_tail_quality": mean_tail,
+        },
+        "kbt_vs_pagerank_correlation": compare["correlation"],
+        "artifact": {
+            "save_s": save_s,
+            "load_s": load_s,
+            "size_bytes": os.path.getsize(artifact_path),
+        },
+        "query": {
+            "fused_p50_us": _percentile(fused_us, 0.50),
+            "fused_p99_us": _percentile(fused_us, 0.99),
+            "breakdown_p50_us": _percentile(breakdown_us, 0.50),
+            "breakdown_p99_us": _percentile(breakdown_us, 0.99),
+        },
+    }
+
+    rows = [
+        ["records", float(observations.num_records)],
+        ["graph edges", float(graph.num_edges)],
+        *[
+            [f"{name} fit (s)", provider_stats[name]["fit_s"]]
+            for name in suite.names
+        ],
+        ["kbt vs pagerank correlation", compare["correlation"]],
+        ["fused websites", float(len(fusion.scores))],
+        ["mean fused (gossip)", mean_gossip],
+        ["mean fused (tail-quality)", mean_tail],
+        ["artifact save (s)", save_s],
+        ["artifact load (s)", load_s],
+        ["fused lookup p50 (us)", stats["query"]["fused_p50_us"]],
+        ["fused lookup p99 (us)", stats["query"]["fused_p99_us"]],
+        ["breakdown p50 (us)", stats["query"]["breakdown_p50_us"]],
+        ["breakdown p99 (us)", stats["query"]["breakdown_p99_us"]],
+    ]
+    text = format_table(
+        ["Metric", "Value"],
+        rows,
+        title=(
+            "Trust-signal suite: per-provider fit, calibrated fusion, "
+            f"serving ({'smoke' if SMOKE else 'full'} corpus)"
+        ),
+        float_format="{:.4g}",
+    )
+    return text, stats
+
+
+def test_bench_signals(benchmark, tmp_path):
+    text, stats = benchmark.pedantic(
+        run_signals_bench, args=(str(tmp_path),), rounds=1, iterations=1
+    )
+    save_result("signals_suite", text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_path = RESULTS_DIR / "BENCH_signals.json"
+    json_path.write_text(
+        json.dumps(stats, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"[stats saved to {json_path}]")
+
+    # Every provider scores a meaningful share of the corpus.
+    for name, provider in stats["providers"].items():
+        assert provider["websites"] >= 1, name
+    # Fused trust keeps the paper's cohorts apart: accurate-but-obscure
+    # tail sites must out-score popular-but-wrong gossip sites.
+    assert (
+        stats["fusion"]["mean_fused_tail_quality"]
+        > stats["fusion"]["mean_fused_gossip"]
+    )

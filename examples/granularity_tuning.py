@@ -99,11 +99,11 @@ def main():
 
     # Coverage effect under a support threshold.
     config = MultiLayerConfig(min_source_support=5)
-    plain = KBTEstimator(config=config).estimate(matrix)
+    plain = KBTEstimator(config=config).fit(matrix).report
     merged = KBTEstimator(
         config=config,
         granularity=GranularityConfig(min_size=5, max_size=500),
-    ).estimate(matrix)
+    ).fit(matrix).report
     print(
         f"\ntriple coverage with min_source_support=5: "
         f"{plain.result.coverage:.2f} at finest granularity vs "

@@ -41,11 +41,11 @@ def main():
     )
     estimator = KBTEstimator(config=config, min_triples=5.0)
     print("fitting the multi-layer model (gold-initialised) ...")
-    report = estimator.estimate(
+    report = estimator.fit(
         obs,
         initial_source_accuracy=kv.gold.initial_source_accuracy(obs),
         initial_extractor_quality=kv.gold.initial_extractor_quality(obs),
-    )
+    ).report
 
     labels = kv.gold.labeled_triples(obs)
     scores = score_method(

@@ -78,7 +78,7 @@ def main():
     print(f"extraction records: {len(records)}\n")
 
     estimator = KBTEstimator(min_triples=3.0)
-    report = estimator.estimate(records)
+    report = estimator.fit(records).report
 
     print("Knowledge-Based Trust per website:")
     scores = sorted(

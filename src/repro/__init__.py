@@ -10,8 +10,8 @@ Quickstart::
     from repro import KBTEstimator, ExtractionRecord
 
     estimator = KBTEstimator()
-    report = estimator.estimate(records)
-    for website, score in report.website_scores().items():
+    fitted = estimator.fit(records)
+    for website, score in fitted.website_scores().items():
         print(website, score.score)
 
 Subpackages:
@@ -21,6 +21,11 @@ Subpackages:
 * :mod:`repro.extraction` — simulated web corpus + extractor fleet.
 * :mod:`repro.kb` — Freebase-like KB, LCWA and type-check gold standards.
 * :mod:`repro.web` — synthetic web graph and PageRank.
+* :mod:`repro.signals` — the unified trust-signal API: pluggable
+  providers (KBT, ACCU/POPACCU, PageRank, copy-adjusted), aligned
+  multi-signal frames, calibrated weighted fusion.
+* :mod:`repro.io` / :mod:`repro.serving` — versioned trust artifacts and
+  the TrustStore/HTTP serving surface over them.
 * :mod:`repro.datasets` — the paper's experimental datasets (motivating
   example, Section 5.2 synthetic, Knowledge-Vault-scale synthetic).
 * :mod:`repro.eval` — SqV/SqC/SqA, WDev, AUC-PR, Cov, calibration.

@@ -2,18 +2,29 @@
 
 The subcommands mirror the fit -> persist -> query lifecycle:
 
-* ``fit`` — read extraction records (JSONL), run the KBT pipeline, persist
-  the fitted model as a versioned trust artifact, optionally write
+* ``fit`` — read extraction records (JSONL), run the KBT pipeline (and,
+  with ``--signals``, any further trust-signal providers), persist the
+  fitted model as a versioned trust artifact, optionally write
   per-website scores (CSV)::
 
-      kbt demo demo.jsonl --websites 100 --seed 7
+      kbt demo demo.jsonl --websites 100 --seed 7 --gold gold.jsonl
       kbt fit demo.jsonl --artifact model.kbt --output scores.csv
+      kbt fit demo.jsonl --artifact model.kbt --signals all --gold gold.jsonl
 
 * ``query`` — answer score lookups from an artifact without refitting::
 
       kbt query model.kbt --top 10
       kbt query model.kbt --site site0001.example
       kbt query model.kbt --breakdown site0001.example
+
+* ``signals`` — inspect the trust signals embedded in an artifact::
+
+      kbt signals model.kbt
+      kbt signals model.kbt --site site0001.example
+
+* ``compare`` — the Figure-10-style two-signal disagreement view::
+
+      kbt compare model.kbt --a kbt --b pagerank --k 10
 
 * ``serve`` — expose the artifact over HTTP (JSON)::
 
@@ -27,7 +38,8 @@ The subcommands mirror the fit -> persist -> query lifecycle:
 * ``estimate`` — deprecated alias: fit and print scores without
   persisting anything (the pre-lifecycle behaviour).
 
-* ``demo`` — generate a synthetic Knowledge-Vault-like corpus as JSONL.
+* ``demo`` — generate a synthetic Knowledge-Vault-like corpus as JSONL
+  (``--gold`` also emits website gold labels for calibrated fusion).
 """
 
 from __future__ import annotations
@@ -46,6 +58,7 @@ from repro.core.observation import ObservationMatrix
 from repro.io.artifact import ArtifactError
 from repro.io.jsonl import read_records, write_records
 from repro.io.reports import score_sort_key, write_score_csv
+from repro.signals.base import SignalError
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +86,22 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "write a serving-only artifact without the extraction cells "
             "(smaller, but 'kbt update' will refuse it)"
+        ),
+    )
+    fit.add_argument(
+        "--signals", default=None, metavar="NAMES",
+        help=(
+            "also fit trust-signal providers and embed them in the "
+            "artifact: comma-separated names (kbt,accu,popaccu,pagerank,"
+            "copydetect) or 'all'"
+        ),
+    )
+    fit.add_argument(
+        "--gold", default=None, metavar="JSONL",
+        help=(
+            "website gold labels (JSONL: {\"website\": ..., \"accurate\": "
+            "...}) used to calibrate the signal-fusion weights; without "
+            "them fusion weights are uniform"
         ),
     )
     _add_model_options(fit)
@@ -114,6 +143,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="artifact-level statistics"
     )
 
+    signals = sub.add_parser(
+        "signals",
+        help="inspect the trust signals embedded in an artifact",
+    )
+    signals.add_argument("artifact", help="trust artifact written by 'fit'")
+    signals.add_argument(
+        "--site", default=None,
+        help="per-signal breakdown of one website (default: the listing)",
+    )
+
+    compare = sub.add_parser(
+        "compare",
+        help="two-signal disagreement view (the Figure 10 quadrants)",
+    )
+    compare.add_argument("artifact", help="trust artifact written by 'fit'")
+    compare.add_argument(
+        "--a", default="kbt", help="first signal (default kbt)"
+    )
+    compare.add_argument(
+        "--b", default="pagerank", help="second signal (default pagerank)"
+    )
+    compare.add_argument(
+        "--k", type=int, default=10,
+        help="entries per disagreement quadrant (default 10)",
+    )
+    compare.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the raw JSON payload instead of tables",
+    )
+
     serve = sub.add_parser(
         "serve", help="serve JSON score lookups over HTTP"
     )
@@ -145,6 +204,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--systems", type=int, default=8)
     demo.add_argument("--items-per-predicate", type=int, default=40)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--gold", default=None, metavar="JSONL",
+        help="also write per-website gold labels (for 'fit --gold')",
+    )
     return parser
 
 
@@ -239,6 +302,68 @@ def _print_summary(
     return True
 
 
+def _read_gold_labels(path: str) -> dict[str, bool]:
+    """Website gold labels from JSONL: {"website": ..., "accurate": ...}.
+
+    An ``accuracy`` float is accepted in place of ``accurate`` and
+    thresholded at 0.5 (the label "is this site accurate").
+    """
+    labels: dict[str, bool] = {}
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                website = data["website"]
+                if "accurate" in data:
+                    label = bool(data["accurate"])
+                else:
+                    label = float(data["accuracy"]) >= 0.5
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                raise ValueError(
+                    f"{path}:{line_number}: malformed gold label (need "
+                    '{"website": ..., "accurate": ...} or "accuracy")'
+                ) from None
+            labels[website] = label
+    if not labels:
+        raise ValueError(f"no gold labels found in {path}")
+    return labels
+
+
+def _fit_signals(
+    fitted: FittedKBT,
+    observations: ObservationMatrix,
+    args: argparse.Namespace,
+) -> tuple[dict, dict[str, float]]:
+    """Run the selected providers and calibrate the fusion weights."""
+    from repro.signals import CorpusContext, SignalSuite, fuse
+
+    gold = _read_gold_labels(args.gold) if args.gold else None
+    context = CorpusContext(
+        observations=observations,
+        gold_labels=gold,
+        min_triples=fitted.min_triples,
+        fitted=fitted,
+    )
+    suite = SignalSuite()
+    frame = suite.run(context, args.signals)
+    fusion = fuse(frame, gold_labels=gold)
+    signals = {name: frame.signal(name) for name in frame.names}
+    kind = "calibrated" if fusion.calibrated else "uniform"
+    print(
+        f"fitted {len(frame.names)} trust signals "
+        f"({', '.join(frame.names)}) over {len(frame)} websites; "
+        f"{kind} fusion weights: "
+        + ", ".join(
+            f"{name}={weight:.3f}"
+            for name, weight in fusion.weights.items()
+        )
+    )
+    return signals, fusion.weights
+
+
 def run_fit(args: argparse.Namespace, deprecated_alias: bool = False) -> int:
     if deprecated_alias:
         print(
@@ -251,13 +376,32 @@ def run_fit(args: argparse.Namespace, deprecated_alias: bool = False) -> int:
     if observations.num_records == 0:
         print("no records found", file=sys.stderr)
         return 1
+    if getattr(args, "gold", None) and not getattr(args, "signals", None):
+        print(
+            "error: --gold calibrates signal-fusion weights and needs "
+            "--signals (e.g. --signals all)",
+            file=sys.stderr,
+        )
+        return 1
     fitted = _build_estimator(args).fit(observations)
+    signals: dict = {}
+    fusion_weights: dict[str, float] = {}
+    if getattr(args, "signals", None):
+        signals, fusion_weights = _fit_signals(fitted, observations, args)
+        if not getattr(args, "artifact", None):
+            print(
+                "note: --signals without --artifact: the fitted signals "
+                "are reported above but not persisted",
+                file=sys.stderr,
+            )
     artifact_path = getattr(args, "artifact", None)
     if artifact_path:
         fitted.save(
             artifact_path,
             include_observations=not getattr(args, "no_observations", False),
             metadata={"records_file": args.records},
+            signals=signals,
+            fusion_weights=fusion_weights,
         )
         print(f"saved trust artifact to {artifact_path}")
     scored = _print_summary(fitted, observations.num_records, args)
@@ -298,6 +442,71 @@ def run_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_signals(args: argparse.Namespace) -> int:
+    from repro.serving.store import TrustStore
+
+    store = TrustStore.open(args.artifact)
+    if args.site is None:
+        payload = store.signals_json()
+        if not payload["signals"]:
+            print(
+                "no trust signals in this artifact (fitted without "
+                "--signals, or a version-1 artifact)",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        payload = store.signal_breakdown(args.site)
+        if payload is None:
+            print("no signal scores for that website", file=sys.stderr)
+            return 1
+    print(json.dumps(payload, indent=2, ensure_ascii=False))
+    return 0
+
+
+def run_compare(args: argparse.Namespace) -> int:
+    from repro.serving.store import TrustStore
+    from repro.util.tables import format_table
+
+    store = TrustStore.open(args.artifact)
+    payload = store.compare(args.a, args.b, k=args.k)
+    if args.as_json:
+        print(json.dumps(payload, indent=2, ensure_ascii=False))
+        return 0
+    a, b = payload["a"], payload["b"]
+    print(
+        f"{a} vs {b} over {payload['websites_compared']} websites; "
+        f"Pearson correlation {payload['correlation']:+.3f}"
+    )
+    for title, quadrant in (
+        (f"high {a}, low {b}", "high_a_low_b"),
+        (f"high {b}, low {a}", "high_b_low_a"),
+    ):
+        entries = payload[quadrant]
+        if not entries:
+            print(f"\n{title}: no disagreeing websites")
+            continue
+        rows = [
+            [
+                entry["website"],
+                entry[a],
+                entry[f"{a}_percentile"],
+                entry[b],
+                entry[f"{b}_percentile"],
+            ]
+            for entry in entries
+        ]
+        print()
+        print(
+            format_table(
+                ["website", a, f"{a} pctl", b, f"{b} pctl"],
+                rows,
+                title=title,
+            )
+        )
+    return 0
+
+
 def run_serve(args: argparse.Namespace) -> int:
     from repro.serving.http import serve
     from repro.serving.store import TrustStore
@@ -307,7 +516,17 @@ def run_serve(args: argparse.Namespace) -> int:
 
 
 def run_update(args: argparse.Namespace) -> int:
-    fitted = FittedKBT.load(args.artifact)
+    from repro.io.artifact import load_artifact
+
+    artifact = load_artifact(args.artifact)
+    if artifact.signals:
+        print(
+            "note: embedded trust signals are fitted to the old corpus "
+            "and are dropped from the updated artifact; re-run "
+            "'kbt fit --signals' to refresh them",
+            file=sys.stderr,
+        )
+    fitted = FittedKBT.from_artifact(artifact)
     before = set(fitted.website_scores())
     updated = fitted.update(
         read_records(args.records), sweeps=args.sweeps
@@ -342,6 +561,25 @@ def run_demo(args: argparse.Namespace) -> int:
         f"wrote {count} extraction records from {len(corpus.sites)} "
         f"websites to {args.output}"
     )
+    if args.gold:
+        with open(args.gold, "w", encoding="utf-8") as handle:
+            for website, accuracy in sorted(
+                corpus.true_site_accuracy.items()
+            ):
+                handle.write(
+                    json.dumps(
+                        {
+                            "website": website,
+                            "accuracy": accuracy,
+                            "accurate": accuracy >= 0.5,
+                        }
+                    )
+                    + "\n"
+                )
+        print(
+            f"wrote {len(corpus.true_site_accuracy)} website gold labels "
+            f"to {args.gold}"
+        )
     return 0
 
 
@@ -354,13 +592,17 @@ def main(argv: list[str] | None = None) -> int:
             return run_fit(args, deprecated_alias=True)
         if args.command == "query":
             return run_query(args)
+        if args.command == "signals":
+            return run_signals(args)
+        if args.command == "compare":
+            return run_compare(args)
         if args.command == "serve":
             return run_serve(args)
         if args.command == "update":
             return run_update(args)
         if args.command == "demo":
             return run_demo(args)
-    except (ArtifactError, ValueError) as err:
+    except (ArtifactError, SignalError, ValueError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 1
     except BrokenPipeError:

@@ -165,11 +165,19 @@ class FittedKBT:
         path: str | Path,
         include_observations: bool = True,
         metadata: dict | None = None,
+        signals: dict | None = None,
+        fusion_weights: dict[str, float] | None = None,
     ) -> Path:
         """Persist as a versioned artifact (see :mod:`repro.io.artifact`).
 
         ``include_observations=False`` writes a serving-only artifact
         (smaller, but it cannot warm-start :meth:`update` after reload).
+        ``signals`` embeds named trust-signal payloads
+        (:class:`~repro.signals.base.SignalScores`, e.g. from a
+        :class:`~repro.signals.suite.SignalSuite` run) alongside the KBT
+        scores, and ``fusion_weights`` the calibrated per-signal fusion
+        weights, so a serving ``TrustStore`` can answer per-signal and
+        fused queries without refitting anything.
         """
         from repro.io.artifact import TrustArtifact, save_artifact
 
@@ -181,6 +189,8 @@ class FittedKBT:
             seed=self.seed,
             observations=self.observations if include_observations else None,
             metadata=metadata or {},
+            signals=signals or {},
+            fusion_weights=fusion_weights or {},
         )
         return save_artifact(artifact, path)
 
@@ -189,7 +199,17 @@ class FittedKBT:
         """Reopen a fit persisted with :meth:`save`."""
         from repro.io.artifact import load_artifact
 
-        artifact = load_artifact(path)
+        return cls.from_artifact(load_artifact(path))
+
+    @classmethod
+    def from_artifact(cls, artifact) -> "FittedKBT":
+        """The fitted-model handle of an already-loaded ``TrustArtifact``.
+
+        Embedded trust signals are not carried: the handle models the KBT
+        fit alone, and after an :meth:`update` any signals fitted on the
+        old corpus would be stale anyway — refresh them with a new
+        :class:`~repro.signals.suite.SignalSuite` run.
+        """
         return cls(
             result=artifact.result,
             observations=artifact.observations,
@@ -471,9 +491,21 @@ class KBTEstimator:
     ) -> KBTReport:
         """Fit and return only the score report (alias for ``fit().report``).
 
-        Kept for one-shot scoring; prefer :meth:`fit` when the model should
-        be persisted, served, or updated incrementally.
+        .. deprecated:: 0.3
+            Use :meth:`fit` (``fit(...).report`` for the one-shot report);
+            a fitted handle can additionally be persisted, served, and
+            updated incrementally. This alias emits a
+            :class:`DeprecationWarning` and will be removed in a future
+            release.
         """
+        import warnings
+
+        warnings.warn(
+            "KBTEstimator.estimate is deprecated; use "
+            "KBTEstimator.fit(...).report instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.fit(
             data,
             initial_source_accuracy=initial_source_accuracy,

@@ -6,11 +6,15 @@ needs to be served or warm-started later:
 * ``header.json`` — format name + ``FORMAT_VERSION``, the serialised
   :class:`~repro.core.config.MultiLayerConfig` (and granularity config),
   the reporting threshold, interning tables for every source / extractor /
-  item / value key, the convergence history, and arbitrary metadata;
+  item / value key (and, since format 2, website strings), the
+  convergence history, named trust-signal descriptors with their fusion
+  weights, and arbitrary metadata;
 * one payload member with the numeric state of the fitted
-  :class:`~repro.core.results.MultiLayerResult` as flat arrays —
-  ``payload.npz`` (NumPy ``savez``) when numpy is importable, else
-  ``payload.json`` (plain lists). Loading accepts either kind.
+  :class:`~repro.core.results.MultiLayerResult` — and the per-website
+  score/support arrays of every embedded trust signal
+  (:mod:`repro.signals`) — as flat arrays: ``payload.npz`` (NumPy
+  ``savez``) when numpy is importable, else ``payload.json`` (plain
+  lists). Loading accepts either kind.
 
 Floats survive both payloads bit-for-bit (``json`` uses ``repr``, which
 round-trips float64 exactly), and every dict is rebuilt in its original
@@ -18,7 +22,9 @@ insertion order, so re-aggregating scores from a loaded artifact
 reproduces the original ``website_scores()`` to the last bit.
 
 Artifacts written by a newer ``FORMAT_VERSION`` are rejected with a clear
-:class:`ArtifactError` instead of being misread.
+:class:`ArtifactError` instead of being misread. Older supported versions
+load transparently: a version-1 artifact (pre trust-signal era) loads
+with an empty signal set.
 
 Values are restricted to the JSON scalar types (str / int / float / bool /
 None) — exactly what :mod:`repro.io.jsonl` can produce. Composite values
@@ -52,12 +58,18 @@ from repro.core.types import (
     ExtractorKey,
     SourceKey,
 )
+from repro.signals.base import SignalScores
 
 #: Format identifier stored in (and required from) every artifact header.
 FORMAT_NAME = "kbt-trust-artifact"
 
 #: Bump on any incompatible change to the header or payload layout.
-FORMAT_VERSION = 1
+#: Version history: 1 = KBT-only artifacts; 2 = adds embedded trust
+#: signals (per-website score/support arrays + fusion weights).
+FORMAT_VERSION = 2
+
+#: Versions this build can read (older versions load compatibly).
+SUPPORTED_VERSIONS = frozenset({1, FORMAT_VERSION})
 
 _HEADER_MEMBER = "header.json"
 _NPZ_MEMBER = "payload.npz"
@@ -78,6 +90,12 @@ class TrustArtifact:
     ``observations`` is optional: serving only needs the result, but
     warm-start updates (``FittedKBT.update``) need the original extraction
     cells, so ``save_artifact`` embeds them unless asked not to.
+
+    ``signals`` holds named trust-signal payloads
+    (:class:`~repro.signals.base.SignalScores`) alongside the KBT scores,
+    and ``fusion_weights`` the per-signal weights of the fused trust
+    score; both are empty on artifacts fitted without signals and on
+    loaded version-1 artifacts.
     """
 
     result: MultiLayerResult
@@ -87,6 +105,8 @@ class TrustArtifact:
     seed: int = 0
     observations: ObservationMatrix | None = None
     metadata: dict[str, Any] = field(default_factory=dict)
+    signals: dict[str, SignalScores] = field(default_factory=dict)
+    fusion_weights: dict[str, float] = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -196,6 +216,7 @@ def save_artifact(
     extractors = _Interner()
     items = _Interner()
     values = _Interner()
+    websites = _Interner()
     arrays: dict[str, list] = {}
 
     # --- source accuracies (dict order preserved) ---------------------
@@ -281,6 +302,31 @@ def save_artifact(
         arrays["obs_extractor"] = obs_extractor
         arrays["obs_conf"] = obs_conf
 
+    # --- trust-signal payloads (format >= 2) --------------------------
+    signal_entries = []
+    for index, (name, scores) in enumerate(artifact.signals.items()):
+        if name != scores.name:
+            raise ArtifactError(
+                f"signal registered as {name!r} but named {scores.name!r}"
+            )
+        arrays[f"sig{index}_site"] = [
+            websites.add(site) for site in scores.scores
+        ]
+        arrays[f"sig{index}_score"] = list(scores.scores.values())
+        arrays[f"sig{index}_sup_site"] = [
+            websites.add(site) for site in scores.support
+        ]
+        arrays[f"sig{index}_sup_val"] = list(scores.support.values())
+        signal_entries.append(
+            {
+                "name": name,
+                "metadata": {
+                    key: _check_value(value)
+                    for key, value in scores.metadata.items()
+                },
+            }
+        )
+
     header = {
         "format": FORMAT_NAME,
         "format_version": FORMAT_VERSION,
@@ -307,6 +353,12 @@ def save_artifact(
         ],
         "num_triples_total": result.num_triples_total,
         "has_observations": has_observations,
+        "websites": websites.table,
+        "signals": signal_entries,
+        "fusion_weights": {
+            name: float(weight)
+            for name, weight in artifact.fusion_weights.items()
+        },
     }
 
     path = Path(path)
@@ -330,7 +382,7 @@ def save_artifact(
                             dtype=(
                                 np.float64 if name.endswith(
                                     ("_p", "_conf", "_precision", "_recall",
-                                     "_q")
+                                     "_q", "_score", "_sup_val")
                                 ) or name == "acc_value"
                                 else np.int64
                             ),
@@ -355,7 +407,8 @@ def load_artifact(path: str | Path) -> TrustArtifact:
     """Read an artifact written by :func:`save_artifact`.
 
     Raises :class:`ArtifactError` for non-artifact files and for any
-    ``format_version`` other than the one this build writes.
+    ``format_version`` this build cannot read. Version-1 artifacts (no
+    embedded trust signals) load with ``signals == {}``.
     """
     path = Path(path)
     try:
@@ -375,11 +428,11 @@ def load_artifact(path: str | Path) -> TrustArtifact:
                 f"(format={header.get('format')!r})"
             )
         version = header.get("format_version")
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise ArtifactError(
                 f"unsupported artifact format version {version!r}; this "
-                f"build reads version {FORMAT_VERSION}. Re-fit and re-save "
-                "the artifact with a matching build."
+                f"build reads versions {sorted(SUPPORTED_VERSIONS)}. Re-fit "
+                "and re-save the artifact with a matching build."
             )
         payload_kind = header.get("payload_kind")
         if payload_kind == "npz":
@@ -483,6 +536,30 @@ def load_artifact(path: str | Path) -> TrustArtifact:
     if header.get("granularity") is not None:
         granularity = GranularityConfig(**header["granularity"])
 
+    # Trust-signal payloads (absent from version-1 artifacts).
+    website_table = header.get("websites", [])
+    signals: dict[str, SignalScores] = {}
+    for index, entry in enumerate(header.get("signals", [])):
+        name = entry["name"]
+        signals[name] = SignalScores(
+            name=name,
+            scores={
+                website_table[site]: score
+                for site, score in zip(
+                    arrays[f"sig{index}_site"],
+                    arrays[f"sig{index}_score"],
+                )
+            },
+            support={
+                website_table[site]: value
+                for site, value in zip(
+                    arrays[f"sig{index}_sup_site"],
+                    arrays[f"sig{index}_sup_val"],
+                )
+            },
+            metadata=entry.get("metadata", {}),
+        )
+
     return TrustArtifact(
         result=result,
         config=config_from_dict(header["config"]),
@@ -491,6 +568,8 @@ def load_artifact(path: str | Path) -> TrustArtifact:
         seed=header.get("seed", 0),
         observations=observations,
         metadata=header.get("metadata", {}),
+        signals=signals,
+        fusion_weights=header.get("fusion_weights") or {},
     )
 
 

@@ -9,9 +9,16 @@ Routes (all GET, all JSON):
 * ``/top?k=10`` — the k most trustworthy websites
 * ``/percentile?site=SITE`` — the site's score percentile
 * ``/breakdown?site=SITE`` — provenance: contributing model sources
+* ``/signals`` — the embedded trust signals with fusion weights;
+  ``/signals?site=SITE`` — per-signal breakdown + fused score for one
+  website (format-2 artifacts; v1 artifacts list an empty signal set)
+* ``/compare?a=kbt&b=pagerank&k=10`` — correlation + the two
+  disagreement quadrants between two signals (the Figure 10 view)
 
-Unknown sites return 404 with ``{"error": ...}``; malformed parameters
-400; unknown routes 404. The server is a ``ThreadingHTTPServer`` so slow
+Every error is a structured JSON body ``{"error": ...}`` with the
+matching status code: unknown sites and routes 404, malformed or missing
+query parameters (including unknown signal names) 400, unexpected
+handler failures 500. The server is a ``ThreadingHTTPServer`` so slow
 clients do not serialise lookups (the store is immutable — concurrent
 reads are safe).
 """
@@ -24,6 +31,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from repro.serving.store import TrustStore
+from repro.signals.base import SignalError
 
 
 class TrustRequestHandler(BaseHTTPRequestHandler):
@@ -50,6 +58,8 @@ class TrustRequestHandler(BaseHTTPRequestHandler):
                 "/top": self._top,
                 "/percentile": self._percentile,
                 "/breakdown": self._breakdown,
+                "/signals": self._signals,
+                "/compare": self._compare,
             }.get(url.path)
             if handler is None:
                 self._send(404, {"error": f"unknown route: {url.path}"})
@@ -57,6 +67,13 @@ class TrustRequestHandler(BaseHTTPRequestHandler):
             handler(store, params)
         except _BadRequest as err:
             self._send(400, {"error": str(err)})
+        except SignalError as err:
+            self._send(400, {"error": str(err)})
+        except Exception as err:  # noqa: BLE001 - last-resort JSON body
+            self._send(
+                500,
+                {"error": f"internal error: {type(err).__name__}: {err}"},
+            )
 
     # ------------------------------------------------------------------
     # Route handlers
@@ -115,6 +132,31 @@ class TrustRequestHandler(BaseHTTPRequestHandler):
         else:
             self._send(200, payload)
 
+    def _signals(self, store: TrustStore, params) -> None:
+        site = _optional(params, "site")
+        if site is None:
+            self._send(200, store.signals_json())
+            return
+        payload = store.signal_breakdown(site)
+        if payload is None:
+            self._send(
+                404, {"error": f"no signal scores for website: {site}"}
+            )
+        else:
+            self._send(200, payload)
+
+    def _compare(self, store: TrustStore, params) -> None:
+        a = _require(params, "a")
+        b = _require(params, "b")
+        raw = params.get("k", ["10"])[0]
+        try:
+            k = int(raw)
+            if k < 0:
+                raise ValueError
+        except ValueError:
+            raise _BadRequest(f"k must be a non-negative integer: {raw!r}")
+        self._send(200, store.compare(a, b, k=k))
+
     # ------------------------------------------------------------------
     def _send(self, status: int, payload) -> None:
         body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
@@ -133,6 +175,13 @@ def _require(params: dict, name: str) -> str:
     values = params.get(name)
     if not values or not values[0]:
         raise _BadRequest(f"missing query parameter: {name}")
+    return values[0]
+
+
+def _optional(params: dict, name: str) -> str | None:
+    values = params.get(name)
+    if not values or not values[0]:
+        return None
     return values[0]
 
 

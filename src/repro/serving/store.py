@@ -7,6 +7,14 @@ the top-k ranking, score percentiles, and a provenance ``breakdown`` that
 explains which model sources contribute to a website's score with what
 accuracy and extraction support.
 
+Artifacts fitted with trust signals (format version 2,
+:mod:`repro.signals`) additionally serve the multi-signal surface: the
+signal listing with fusion weights, per-website fused scores, a
+per-signal breakdown (score / support / rank / percentile per signal),
+and the two-signal ``compare`` view (the Figure 10 quadrants). A
+version-1 artifact reports an empty signal set and keeps every KBT-only
+query working.
+
 All aggregation happens at construction; every query after that is a dict
 lookup (or a bisect for percentiles).
 """
@@ -20,6 +28,9 @@ from pathlib import Path
 from repro.core.kbt import KBTReport, KBTScore
 from repro.io.artifact import TrustArtifact, load_artifact
 from repro.io.reports import score_sort_key
+from repro.signals.base import SignalError, SignalScores
+from repro.signals.frame import SignalFrame
+from repro.signals.fusion import fuse
 
 
 def _score_json(score: KBTScore) -> dict:
@@ -56,6 +67,18 @@ class TrustStore:
             self._contributors.setdefault(source.website, []).append(
                 (source, accuracy, source_support)
             )
+        #: multi-signal view (empty frame for v1 / signal-less artifacts).
+        self._frame = SignalFrame(artifact.signals.values())
+        if self._frame.names:
+            self._fusion = fuse(
+                self._frame, weights=artifact.fusion_weights or None
+            )
+        else:
+            self._fusion = fuse(self._frame)
+        #: per-signal rank view, materialised once (frame copies per call).
+        self._signal_ranks = {
+            name: self._frame.ranks(name) for name in self._frame.names
+        }
 
     @classmethod
     def open(cls, path: str | Path) -> "TrustStore":
@@ -150,6 +173,66 @@ class TrustStore:
         }
 
     # ------------------------------------------------------------------
+    # Trust signals (format-2 artifacts; empty set for v1)
+    # ------------------------------------------------------------------
+    @property
+    def has_signals(self) -> bool:
+        return bool(self._frame.names)
+
+    def signal_names(self) -> list[str]:
+        """Names of the signals embedded in the artifact (may be empty)."""
+        return self._frame.names
+
+    @property
+    def frame(self) -> SignalFrame:
+        """The aligned multi-signal view (empty for v1 artifacts)."""
+        return self._frame
+
+    @property
+    def fusion_weights(self) -> dict[str, float]:
+        """Per-signal fusion weights (empty without signals)."""
+        return dict(self._fusion.weights)
+
+    def signal_scores(self, name: str) -> SignalScores:
+        """One embedded signal's full payload; SignalError when unknown."""
+        return self._frame.signal(name)
+
+    def fused_score(self, website: str) -> float | None:
+        """The weighted-fusion trust score, or None when unscored."""
+        return self._fusion.scores.get(website)
+
+    def signal_breakdown(self, website: str) -> dict | None:
+        """Every signal's take on one website, or None when no signal
+        scores it. Reports score, support, dense rank, and percentile per
+        signal (null where a signal does not cover the site), plus the
+        fused score and the fusion weights."""
+        if not self.has_signals or website not in self._frame:
+            return None
+        signals = {}
+        for name in self._frame.names:
+            scores = self._frame.signal(name)
+            score = scores.get(website)
+            if score is None:
+                signals[name] = None
+                continue
+            signals[name] = {
+                "score": score,
+                "support": scores.support.get(website),
+                "rank": self._signal_ranks[name].get(website),
+                "percentile": self._frame.percentile(name, website),
+                "weight": self._fusion.weights.get(name),
+            }
+        return {
+            "key": website,
+            "fused": self.fused_score(website),
+            "signals": signals,
+        }
+
+    def compare(self, a: str, b: str, k: int = 10) -> dict:
+        """Two-signal disagreement view (see ``SignalFrame.compare``)."""
+        return self._frame.compare(a, b, k=k)
+
+    # ------------------------------------------------------------------
     # JSON views (shared by the HTTP endpoint and ``kbt query``)
     # ------------------------------------------------------------------
     def score_json(self, website: str) -> dict | None:
@@ -169,10 +252,26 @@ class TrustStore:
     def top_json(self, k: int = 10) -> list[dict]:
         return [_score_json(score) for score in self.top(k)]
 
+    def signals_json(self) -> dict:
+        """The signal listing: names, coverage, weights, metadata."""
+        return {
+            "signals": [
+                {
+                    "name": name,
+                    "websites": len(self._frame.signal(name)),
+                    "weight": self._fusion.weights.get(name),
+                    "metadata": self._frame.signal(name).metadata,
+                }
+                for name in self._frame.names
+            ],
+            "fused_websites": len(self._fusion.scores),
+        }
+
     def stats_json(self) -> dict:
         return {
             "status": "ok",
             "websites": len(self),
             "pages": self.num_pages,
             "min_triples": self.min_triples,
+            "signals": self.signal_names(),
         }

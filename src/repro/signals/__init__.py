@@ -1,0 +1,62 @@
+"""repro.signals — the unified trust-signal API.
+
+One composable surface over every trust signal the repo computes:
+multi-layer KBT, the single-layer ACCU/POPACCU baselines, PageRank over
+the web graph, and copy-detection-adjusted accuracy. Providers implement
+the :class:`TrustSignal` protocol; a :class:`SignalSuite` runs a registry
+of them over one shared :class:`CorpusContext` into an aligned
+:class:`SignalFrame`, and :func:`fuse` combines the frame into one
+calibrated fused trust score per website (Section 5.4.2's "combine KBT
+with other signals").
+
+Quickstart::
+
+    from repro.signals import CorpusContext, SignalSuite, fuse
+
+    context = CorpusContext(observations, gold_labels=gold)
+    frame = SignalSuite().run(context, ["kbt", "pagerank", "copydetect"])
+    fused = fuse(frame, gold_labels=gold)
+    print(frame.compare("kbt", "pagerank")["correlation"])
+"""
+
+from repro.signals.base import (
+    CorpusContext,
+    SignalError,
+    SignalScores,
+    TrustSignal,
+    co_claim_graph,
+)
+from repro.signals.frame import SignalFrame
+from repro.signals.fusion import (
+    FusionResult,
+    calibrate_weights,
+    calibration_deviations,
+    fuse,
+)
+from repro.signals.providers import (
+    CopyAdjustedSignal,
+    KBTSignal,
+    PageRankSignal,
+    SingleLayerSignal,
+    default_providers,
+)
+from repro.signals.suite import SignalSuite
+
+__all__ = [
+    "CopyAdjustedSignal",
+    "CorpusContext",
+    "FusionResult",
+    "KBTSignal",
+    "PageRankSignal",
+    "SignalError",
+    "SignalFrame",
+    "SignalScores",
+    "SignalSuite",
+    "SingleLayerSignal",
+    "TrustSignal",
+    "calibrate_weights",
+    "calibration_deviations",
+    "co_claim_graph",
+    "default_providers",
+    "fuse",
+]

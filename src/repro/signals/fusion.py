@@ -1,0 +1,139 @@
+"""Calibrated weighted fusion of trust signals into one fused score.
+
+The combiner is a support-agnostic weighted average over whichever
+signals score a website, with weights either supplied, uniform, or
+*calibrated* against website gold labels: each signal's scores are
+treated as probabilistic predictions of "this site is accurate" and
+scored with the paper's WDev calibration loss
+(:func:`repro.eval.calibration.weighted_deviation`, the Section 5.1.1
+bucket scheme); a signal's weight is the inverse of its deviation, so a
+well-calibrated signal (KBT, by construction) dominates a popularity
+signal that says nothing about accuracy (PageRank, Figure 10).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.eval.calibration import weighted_deviation
+from repro.signals.base import SignalError
+from repro.signals.frame import SignalFrame
+from repro.util.logmath import clamp
+
+
+@dataclass(frozen=True)
+class FusionResult:
+    """Fused per-website scores plus the weights that produced them."""
+
+    scores: dict[str, float]
+    weights: dict[str, float]
+    #: per-signal WDev against the gold labels; empty for uniform or
+    #: caller-supplied weights.
+    deviations: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def calibrated(self) -> bool:
+        return bool(self.deviations)
+
+
+def calibration_deviations(
+    frame: SignalFrame, gold_labels: Mapping[str, bool]
+) -> dict[str, float]:
+    """Per-signal WDev of its scores against the website gold labels.
+
+    Scores are clamped into [0, 1] (PageRank and KBT already live there)
+    and bucketed with the paper's calibration scheme; only labelled
+    websites the signal actually scores participate. A signal whose
+    scores overlap *no* gold label has no calibration evidence at all;
+    it is assigned the worst possible deviation (1.0) rather than the
+    vacuous 0.0 ``weighted_deviation`` would report — an evidence-free
+    signal must not dominate the fusion weights.
+    """
+    deviations = {}
+    for name in frame.names:
+        scores = frame.signal(name).scores
+        predictions = {
+            site: clamp(score, 0.0, 1.0)
+            for site, score in scores.items()
+            if site in gold_labels
+        }
+        if not predictions:
+            deviations[name] = 1.0
+            continue
+        labels = {site: bool(gold_labels[site]) for site in predictions}
+        deviations[name] = weighted_deviation(predictions, labels)
+    return deviations
+
+
+def calibrate_weights(
+    frame: SignalFrame,
+    gold_labels: Mapping[str, bool],
+    epsilon: float = 1e-3,
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Inverse-WDev weights, normalised to sum to 1.
+
+    ``epsilon`` bounds the weight of a perfectly calibrated signal so one
+    signal cannot silence every other. Returns (weights, deviations).
+    """
+    if epsilon <= 0:
+        raise SignalError(f"epsilon must be > 0, got {epsilon}")
+    deviations = calibration_deviations(frame, gold_labels)
+    raw = {
+        name: 1.0 / (epsilon + deviation)
+        for name, deviation in deviations.items()
+    }
+    total = sum(raw.values())
+    if total <= 0:
+        raise SignalError("no signal produced a calibratable score")
+    return {name: value / total for name, value in raw.items()}, deviations
+
+
+def fuse(
+    frame: SignalFrame,
+    weights: Mapping[str, float] | None = None,
+    gold_labels: Mapping[str, bool] | None = None,
+) -> FusionResult:
+    """Fuse a frame's signals into one score per website.
+
+    Weights come from, in order of precedence: the ``weights`` argument,
+    calibration against ``gold_labels``, or a uniform split. A website
+    missing from some signals is fused over the signals that do score it
+    (weights renormalised), so tail sites without e.g. a PageRank entry
+    still get a fused score.
+    """
+    if not frame.names:
+        return FusionResult(scores={}, weights={})
+    deviations: dict[str, float] = {}
+    if weights is not None:
+        unknown = set(weights) - set(frame.names)
+        if unknown:
+            raise SignalError(
+                f"weights name unknown signals: {sorted(unknown)}"
+            )
+        resolved = {name: float(weights.get(name, 0.0))
+                    for name in frame.names}
+        if all(value <= 0.0 for value in resolved.values()):
+            raise SignalError("at least one fusion weight must be > 0")
+    elif gold_labels:
+        resolved, deviations = calibrate_weights(frame, gold_labels)
+    else:
+        uniform = 1.0 / len(frame.names)
+        resolved = {name: uniform for name in frame.names}
+
+    fused: dict[str, float] = {}
+    for website in frame.websites():
+        numer = 0.0
+        denom = 0.0
+        for name, weight in resolved.items():
+            if weight <= 0.0:
+                continue
+            value = frame.value(name, website)
+            if value is None:
+                continue
+            numer += weight * clamp(value, 0.0, 1.0)
+            denom += weight
+        if denom > 0.0:
+            fused[website] = numer / denom
+    return FusionResult(scores=fused, weights=resolved,
+                        deviations=deviations)

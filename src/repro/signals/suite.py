@@ -1,0 +1,105 @@
+"""Run a registry of trust-signal providers over one corpus context.
+
+``SignalSuite`` keeps providers in a named registry, runs a selected
+subset over a shared :class:`~repro.signals.base.CorpusContext`
+(concurrently — independent providers overlap, while providers that
+share the lazily fitted KBT model serialise on the context lock), and
+aligns the results into a :class:`~repro.signals.frame.SignalFrame`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.signals.base import CorpusContext, SignalError, TrustSignal
+from repro.signals.frame import SignalFrame
+from repro.signals.providers import default_providers
+
+
+class SignalSuite:
+    """A named registry of providers with a concurrent ``run``."""
+
+    def __init__(
+        self, providers: Iterable[TrustSignal] | None = None
+    ) -> None:
+        self._providers: dict[str, TrustSignal] = {}
+        for provider in (
+            default_providers() if providers is None else providers
+        ):
+            self.register(provider)
+
+    def register(self, provider: TrustSignal) -> None:
+        """Add a provider; names must be unique within the suite."""
+        name = provider.name
+        if name in self._providers:
+            raise SignalError(f"duplicate signal provider: {name!r}")
+        self._providers[name] = provider
+
+    @property
+    def names(self) -> list[str]:
+        """Registered provider names, in registration order."""
+        return list(self._providers)
+
+    def provider(self, name: str) -> TrustSignal:
+        try:
+            return self._providers[name]
+        except KeyError:
+            raise SignalError(
+                f"unknown signal: {name!r} (have {self.names})"
+            ) from None
+
+    def resolve(self, names: Sequence[str] | str | None) -> list[str]:
+        """Normalise a selection ("all", comma list, sequence) to names."""
+        if names is None:
+            return self.names
+        if isinstance(names, str):
+            if names == "all":
+                return self.names
+            names = [part.strip() for part in names.split(",") if part.strip()]
+        resolved = []
+        for name in names:
+            if name not in self._providers:
+                raise SignalError(
+                    f"unknown signal: {name!r} (have {self.names})"
+                )
+            if name not in resolved:
+                resolved.append(name)
+        if not resolved:
+            raise SignalError("no signal selected")
+        return resolved
+
+    def run(
+        self,
+        context: CorpusContext,
+        names: Sequence[str] | str | None = None,
+        max_workers: int | None = None,
+    ) -> SignalFrame:
+        """Fit the selected providers and align their scores.
+
+        Providers run on a thread pool; the returned frame lists signals
+        in registry order regardless of completion order. A provider
+        failure propagates — a partially fitted frame would silently
+        misreport the corpus.
+        """
+        selected = self.resolve(names)
+        if max_workers is None:
+            max_workers = len(selected)
+        if max_workers <= 1 or len(selected) == 1:
+            results = [
+                self._providers[name].fit(context) for name in selected
+            ]
+        else:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                futures = [
+                    pool.submit(self._providers[name].fit, context)
+                    for name in selected
+                ]
+                results = [future.result() for future in futures]
+        for name, scores in zip(selected, results):
+            if scores.name != name:
+                raise SignalError(
+                    f"provider {name!r} returned scores named "
+                    f"{scores.name!r}"
+                )
+        return SignalFrame(results)

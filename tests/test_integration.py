@@ -197,7 +197,7 @@ class TestKBTEndToEnd:
             ),
             min_triples=5.0,
         )
-        report = estimator.estimate(kv_small.observation())
+        report = estimator.fit(kv_small.observation()).report
         return {
             site: score.score
             for site, score in report.website_scores().items()
@@ -262,11 +262,11 @@ class TestGranularityEffects:
             min_extractor_support=5,
             min_source_support=5,
         )
-        plain = KBTEstimator(config=cfg).estimate(obs)
+        plain = KBTEstimator(config=cfg).fit(obs).report
         merged = KBTEstimator(
             config=cfg,
             granularity=GranularityConfig(min_size=5, max_size=2000),
-        ).estimate(obs)
+        ).fit(obs).report
         assert merged.result.coverage > plain.result.coverage
 
 

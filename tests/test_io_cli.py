@@ -260,6 +260,11 @@ class TestLifecycleCli:
         assert main(["update", str(slim), str(demo)]) == 1
         assert "observation" in capsys.readouterr().err
 
+    def test_signals_on_plain_artifact_fails(self, artifact, capsys):
+        _root, _demo, path = artifact
+        assert main(["signals", str(path)]) == 1
+        assert "no trust signals" in capsys.readouterr().err
+
     def test_query_rejects_future_artifact(self, artifact, tmp_path, capsys):
         import zipfile
 
@@ -277,3 +282,132 @@ class TestLifecycleCli:
                 archive.writestr(name, data)
         assert main(["query", str(future), "--stats"]) == 1
         assert "format version" in capsys.readouterr().err
+
+
+class TestSignalsCli:
+    """demo --gold -> fit --signals -> signals/compare round trips."""
+
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("signals-cli")
+        demo = root / "demo.jsonl"
+        gold = root / "gold.jsonl"
+        artifact = root / "model.kbt"
+        assert main([
+            "demo", str(demo), "--websites", "30", "--systems", "4",
+            "--items-per-predicate", "15", "--seed", "5",
+            "--gold", str(gold),
+        ]) == 0
+        assert gold.exists()
+        assert main([
+            "fit", str(demo), "--artifact", str(artifact),
+            "--signals", "kbt,pagerank,copydetect", "--gold", str(gold),
+        ]) == 0
+        return root, artifact
+
+    def test_fit_embeds_selected_signals(self, artifact, capsys):
+        _root, path = artifact
+        assert main(["signals", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in payload["signals"]] == [
+            "kbt", "pagerank", "copydetect"
+        ]
+        # calibrated weights are normalised and every signal scores sites
+        weights = {s["name"]: s["weight"] for s in payload["signals"]}
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert all(weight > 0 for weight in weights.values())
+        assert all(s["websites"] >= 1 for s in payload["signals"])
+
+    def test_signals_site_breakdown(self, artifact, capsys):
+        _root, path = artifact
+        assert main(["signals", str(path)]) == 0
+        capsys.readouterr()
+        from repro.serving.store import TrustStore
+
+        site = TrustStore.open(str(path)).top(1)[0].key
+        assert main(["signals", str(path), "--site", site]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["key"] == site
+        assert payload["signals"]["kbt"]["score"] is not None
+        assert payload["fused"] is not None
+
+    def test_signals_unknown_site_fails(self, artifact, capsys):
+        _root, path = artifact
+        assert main(["signals", str(path), "--site", "nosuch"]) == 1
+        assert "no signal scores" in capsys.readouterr().err
+
+    def test_compare_prints_quadrants(self, artifact, capsys):
+        _root, path = artifact
+        assert main([
+            "compare", str(path), "--a", "kbt", "--b", "pagerank",
+            "--k", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Pearson correlation" in out
+        assert "high kbt, low pagerank" in out
+        assert "high pagerank, low kbt" in out
+
+    def test_compare_json_payload(self, artifact, capsys):
+        _root, path = artifact
+        assert main([
+            "compare", str(path), "--a", "kbt", "--b", "copydetect",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["a"] == "kbt"
+        assert payload["b"] == "copydetect"
+        assert payload["websites_compared"] >= 1
+
+    def test_compare_unknown_signal_fails(self, artifact, capsys):
+        _root, path = artifact
+        assert main(["compare", str(path), "--a", "kbt", "--b", "x"]) == 1
+        assert "unknown signal" in capsys.readouterr().err
+
+    def test_fit_unknown_signal_fails(self, artifact, tmp_path, capsys):
+        root, _path = artifact
+        assert main([
+            "fit", str(root / "demo.jsonl"),
+            "--artifact", str(tmp_path / "x.kbt"),
+            "--signals", "nosuch",
+        ]) == 1
+        assert "unknown signal" in capsys.readouterr().err
+
+    def test_update_drops_stale_signals_with_notice(
+        self, artifact, tmp_path, capsys
+    ):
+        root, path = artifact
+        out = tmp_path / "updated.kbt"
+        assert main([
+            "update", str(path), str(root / "demo.jsonl"),
+            "--artifact-out", str(out),
+        ]) == 0
+        assert "trust signals" in capsys.readouterr().err
+        from repro.io.artifact import load_artifact
+
+        assert load_artifact(str(out)).signals == {}
+
+    def test_fit_gold_requires_signals(self, artifact, capsys):
+        root, _path = artifact
+        assert main([
+            "fit", str(root / "demo.jsonl"),
+            "--gold", str(root / "gold.jsonl"),
+        ]) == 1
+        assert "--signals" in capsys.readouterr().err
+
+    def test_fit_signals_without_artifact_notes(self, artifact, capsys):
+        root, _path = artifact
+        assert main([
+            "fit", str(root / "demo.jsonl"), "--signals", "kbt,pagerank",
+        ]) == 0
+        assert "not persisted" in capsys.readouterr().err
+
+    def test_fit_rejects_malformed_gold(self, artifact, tmp_path, capsys):
+        root, _path = artifact
+        bad_gold = tmp_path / "bad.jsonl"
+        bad_gold.write_text('{"website": "a"}\n', encoding="utf-8")
+        assert main([
+            "fit", str(root / "demo.jsonl"),
+            "--artifact", str(tmp_path / "x.kbt"),
+            "--signals", "kbt", "--gold", str(bad_gold),
+        ]) == 1
+        assert "malformed gold label" in capsys.readouterr().err

@@ -46,16 +46,16 @@ def two_site_corpus():
 
 class TestEstimator:
     def test_website_scores_rank_good_above_bad(self):
-        report = KBTEstimator().estimate(two_site_corpus())
+        report = KBTEstimator().fit(two_site_corpus()).report
         scores = report.website_scores()
         assert scores["good.com"].score > scores["bad.com"].score
 
     def test_accepts_matrix_or_records(self):
         records = two_site_corpus()
-        from_records = KBTEstimator().estimate(records)
-        from_matrix = KBTEstimator().estimate(
+        from_records = KBTEstimator().fit(records).report
+        from_matrix = KBTEstimator().fit(
             ObservationMatrix.from_records(records)
-        )
+        ).report
         assert from_records.website_scores().keys() == (
             from_matrix.website_scores().keys()
         )
@@ -67,23 +67,23 @@ class TestEstimator:
             page_records("thin.com", "thin.com/p", "e0", ["s0"],
                          lambda s: f"true-{s}")
         )
-        report = KBTEstimator(min_triples=5.0).estimate(records)
+        report = KBTEstimator(min_triples=5.0).fit(records).report
         assert "thin.com" not in report.website_scores()
-        lax = KBTEstimator(min_triples=0.5).estimate(records)
+        lax = KBTEstimator(min_triples=0.5).fit(records).report
         assert "thin.com" in lax.website_scores()
 
     def test_webpage_scores_keyed_by_site_and_url(self):
-        report = KBTEstimator().estimate(two_site_corpus())
+        report = KBTEstimator().fit(two_site_corpus()).report
         pages = report.webpage_scores()
         assert ("good.com", "good.com/p") in pages
 
     def test_source_scores_at_model_granularity(self):
-        report = KBTEstimator().estimate(two_site_corpus())
+        report = KBTEstimator().fit(two_site_corpus()).report
         sources = report.source_scores()
         assert all(score.support >= 5.0 for score in sources.values())
 
     def test_score_support_reflects_extraction_mass(self):
-        report = KBTEstimator().estimate(two_site_corpus())
+        report = KBTEstimator().fit(two_site_corpus()).report
         scores = report.website_scores()
         assert scores["good.com"].support == pytest.approx(12.0, abs=1.0)
 
@@ -197,7 +197,7 @@ class TestGranularityIntegration:
     def test_split_and_merge_pipeline_runs(self):
         report = KBTEstimator(
             granularity=GranularityConfig(min_size=3, max_size=8)
-        ).estimate(two_site_corpus())
+        ).fit(two_site_corpus()).report
         assert report.website_scores()
 
     def test_initialisation_transfers_across_merge(self):
@@ -209,7 +209,7 @@ class TestGranularityIntegration:
         report = KBTEstimator(
             config=MultiLayerConfig(),
             granularity=GranularityConfig(min_size=3, max_size=100),
-        ).estimate(records, initial_source_accuracy=init)
+        ).fit(records, initial_source_accuracy=init).report
         # The pipeline must simply accept and apply the transfer.
         assert report.website_scores()
 
@@ -217,7 +217,7 @@ class TestGranularityIntegration:
 class TestMotivatingExampleThroughFacade:
     def test_trustworthy_pages_outrank_false_ones(self):
         ex = motivating_example()
-        report = KBTEstimator(min_triples=0.0).estimate(ex.records)
+        report = KBTEstimator(min_triples=0.0).fit(ex.records).report
         result = report.result
         assert result.source_accuracy[source_key("W1")] > (
             result.source_accuracy[source_key("W5")]
