@@ -1,0 +1,95 @@
+"""Shared bench harness: timing, warmup, scale envs, BENCH_*.json schema.
+
+Every experiment bench uses the same small toolkit so conventions cannot
+drift per script:
+
+* ``is_smoke(name)`` / ``bench_scale(name)`` — the ``<NAME>_BENCH_SCALE``
+  environment contract (``smoke`` selects the reduced CI corpus; timing
+  gates are skipped at smoke scale and on single-core runners, where
+  one-round wall clocks are meaningless);
+* ``timed(fn, ...)`` — one measured call with optional warmup calls
+  (warmup results are discarded; use it when the first call would pay a
+  one-off cost the experiment is not about, e.g. allocator warmup);
+* ``save_result(name, text)`` — persist the human-readable table under
+  ``benchmarks/results/<name>.txt`` (and print it past pytest's capture);
+* ``save_stats(name, stats, scale=...)`` — persist machine-readable
+  stats as ``benchmarks/results/BENCH_<name>.json`` with the shared
+  envelope ``{"bench": ..., "scale": ..., **stats}`` (CI uploads these
+  files as workflow artifacts);
+* ``percentile(samples, q)`` — the latency-percentile convention shared
+  by the serving and signal benches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Any, Callable
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale(name: str) -> str:
+    """The ``<NAME>_BENCH_SCALE`` environment value ('' when unset)."""
+    return os.environ.get(f"{name.upper()}_BENCH_SCALE", "")
+
+
+def is_smoke(name: str) -> bool:
+    """True when the bench runs at the reduced CI ("smoke") scale."""
+    return bench_scale(name) == "smoke"
+
+
+def gate_timings(name: str, min_cpus: int = 1) -> bool:
+    """Whether wall-clock assertions should gate this run.
+
+    Timing gates are meaningful only at full scale (small corpora cannot
+    amortise fixed overheads) and, for parallel-speedup gates, only on
+    machines with enough cores (``min_cpus``).
+    """
+    return not is_smoke(name) and (os.cpu_count() or 1) >= min_cpus
+
+
+def timed(
+    fn: Callable[..., Any], *args: Any, warmup: int = 0, **kwargs: Any
+) -> tuple[Any, float]:
+    """Run ``fn`` once measured, after ``warmup`` discarded calls.
+
+    Returns ``(result, elapsed_seconds)`` of the measured call.
+    """
+    for _ in range(warmup):
+        fn(*args, **kwargs)
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The q-quantile by the nearest-rank convention used by all benches."""
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def save_result(name: str, text: str) -> pathlib.Path:
+    """Print a bench artifact and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to {path}]")
+    return path
+
+
+def save_stats(
+    name: str, stats: dict[str, Any], scale: str = "full"
+) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` with the shared stats envelope."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    payload = {"bench": name, "scale": scale}
+    payload.update(stats)
+    path.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"[stats saved to {path}]")
+    return path

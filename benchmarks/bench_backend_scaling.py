@@ -1,0 +1,172 @@
+"""Backend scaling: sharded execution wall clock across backends x shards.
+
+The sharded execution API exists so the multi-layer EM can use every core
+the way the paper's MapReduce deployment used its cluster. This bench
+fits the large-scale KV corpus once per (backend, shard count) cell,
+checks every cell against the unsharded numpy engine — sharded results
+must be **bit-identical**, not merely close — and records wall times plus
+the speedup of each parallel backend over the ``serial`` backend at the
+same shard count. Stats land in ``benchmarks/results/BENCH_backends.json``.
+
+Timing gates (processes >= 2x serial) apply only at full scale on a
+multi-core runner: on one core there is no parallelism to measure, and
+smoke corpora cannot amortise worker startup. The bit-identity
+assertions always run.
+
+Set ``BACKEND_BENCH_SCALE=smoke`` for the reduced CI corpus.
+"""
+
+import dataclasses
+import os
+
+from _harness import gate_timings, is_smoke, save_result, save_stats, timed
+from conftest import BENCH_KV_CONFIG, MULTI_LAYER_CONFIG
+
+from repro.core.config import ConvergenceConfig
+from repro.core.multi_layer import MultiLayerModel
+from repro.datasets.kv import generate_kv
+from repro.util.tables import format_table
+
+SMOKE = is_smoke("backend")
+
+#: The engine-scaling corpus at the same two scales (~500K records full).
+BACKEND_KV_CONFIG = dataclasses.replace(
+    BENCH_KV_CONFIG,
+    num_websites=200 if SMOKE else 4_000,
+    seed=23,
+)
+
+#: Fixed-iteration EM so every cell does the same amount of work.
+BACKEND_CONFIG = dataclasses.replace(
+    MULTI_LAYER_CONFIG,
+    engine="numpy",
+    convergence=ConvergenceConfig(max_iterations=5, tolerance=0.0),
+)
+
+BACKENDS = ("serial", "threads", "processes")
+SHARD_COUNTS = (1, 2) if SMOKE else (1, 2, 4, 8)
+
+#: Full-scale gate on a multi-core runner (acceptance criterion).
+MIN_PROCESS_SPEEDUP = 2.0
+MIN_CPUS_FOR_GATE = 4
+
+
+def _max_diff(reference, candidate) -> float:
+    """Max absolute divergence across accuracies and value posteriors."""
+    acc = max(
+        (
+            abs(reference.source_accuracy[s] - candidate.source_accuracy[s])
+            for s in reference.source_accuracy
+        ),
+        default=0.0,
+    )
+    post = max(
+        (
+            abs(
+                reference.value_posteriors[i][v]
+                - candidate.value_posteriors[i][v]
+            )
+            for i in reference.value_posteriors
+            for v in reference.value_posteriors[i]
+        ),
+        default=0.0,
+    )
+    return max(acc, post)
+
+
+def run_backend_scaling() -> tuple[str, dict]:
+    corpus = generate_kv(BACKEND_KV_CONFIG)
+    observations = corpus.observation()
+
+    reference, unsharded_s = timed(
+        MultiLayerModel(BACKEND_CONFIG).fit, observations
+    )
+
+    cells: dict[str, dict[int, float]] = {name: {} for name in BACKENDS}
+    max_divergence = 0.0
+    for backend in BACKENDS:
+        for shards in SHARD_COUNTS:
+            config = dataclasses.replace(
+                BACKEND_CONFIG, backend=backend, num_shards=shards
+            )
+            result, elapsed = timed(
+                MultiLayerModel(config).fit, observations
+            )
+            cells[backend][shards] = elapsed
+            max_divergence = max(
+                max_divergence, _max_diff(reference, result)
+            )
+
+    speedups = {
+        backend: {
+            shards: cells["serial"][shards] / cells[backend][shards]
+            for shards in SHARD_COUNTS
+        }
+        for backend in BACKENDS
+    }
+    best_process_speedup = max(speedups["processes"].values())
+
+    rows = [
+        ["records", float(observations.num_records)],
+        ["cpus", float(os.cpu_count() or 1)],
+        ["unsharded numpy (s)", unsharded_s],
+    ]
+    for backend in BACKENDS:
+        for shards in SHARD_COUNTS:
+            rows.append(
+                [
+                    f"{backend} x{shards} (s)",
+                    cells[backend][shards],
+                ]
+            )
+    rows.append(["best processes speedup vs serial", best_process_speedup])
+    rows.append(["max |diff| vs unsharded", max_divergence])
+    text = format_table(
+        ["Metric", "Value"],
+        rows,
+        title=(
+            "Backend scaling: sharded EM across backends x shard counts "
+            f"({'smoke' if SMOKE else 'full'} corpus, 5 EM iterations)"
+        ),
+        float_format="{:.4g}",
+    )
+    stats = {
+        "corpus": {
+            "records": observations.num_records,
+            "websites": BACKEND_KV_CONFIG.num_websites,
+            "cpus": os.cpu_count() or 1,
+        },
+        "unsharded_numpy_s": unsharded_s,
+        "wall_s": {
+            backend: {
+                str(shards): cells[backend][shards]
+                for shards in SHARD_COUNTS
+            }
+            for backend in BACKENDS
+        },
+        "speedup_vs_serial": {
+            backend: {
+                str(shards): speedups[backend][shards]
+                for shards in SHARD_COUNTS
+            }
+            for backend in BACKENDS
+        },
+        "best_process_speedup": best_process_speedup,
+        "max_divergence": max_divergence,
+    }
+    return text, stats
+
+
+def test_bench_backend_scaling(benchmark):
+    text, stats = benchmark.pedantic(
+        run_backend_scaling, rounds=1, iterations=1
+    )
+    save_result("backend_scaling", text)
+    save_stats("backends", stats, scale="smoke" if SMOKE else "full")
+    # Sharded execution reduces in the engine's array order: every
+    # backend and shard count must reproduce the unsharded scores
+    # bit for bit (stronger than the suite's 1e-9 parity bound).
+    assert stats["max_divergence"] == 0.0
+    # The acceptance gate — only meaningful with real parallel hardware.
+    if gate_timings("backend", min_cpus=MIN_CPUS_FOR_GATE):
+        assert stats["best_process_speedup"] >= MIN_PROCESS_SPEEDUP

@@ -14,17 +14,16 @@ are too noisy to gate on.
 """
 
 import dataclasses
-import os
-import time
 
-from conftest import BENCH_KV_CONFIG, MULTI_LAYER_CONFIG, save_result
+from _harness import gate_timings, is_smoke, save_result, save_stats, timed
+from conftest import BENCH_KV_CONFIG, MULTI_LAYER_CONFIG
 
 from repro.core.config import ConvergenceConfig
 from repro.core.multi_layer import MultiLayerModel
 from repro.datasets.kv import generate_kv
 from repro.util.tables import format_table
 
-SMOKE = os.environ.get("ENGINE_BENCH_SCALE") == "smoke"
+SMOKE = is_smoke("engine")
 
 #: 10x the shared bench corpus (~500K records); smoke runs at ~0.5x.
 SCALED_KV_CONFIG = dataclasses.replace(
@@ -51,9 +50,7 @@ def run_engine_scaling() -> tuple[str, dict]:
     for engine in ("python", "numpy"):
         config = dataclasses.replace(ENGINE_CONFIG, engine=engine)
         model = MultiLayerModel(config)
-        start = time.perf_counter()
-        results[engine] = model.fit(observations)
-        elapsed[engine] = time.perf_counter() - start
+        results[engine], elapsed[engine] = timed(model.fit, observations)
 
     py, np_ = results["python"], results["numpy"]
     max_accuracy_diff = max(
@@ -94,6 +91,14 @@ def run_engine_scaling() -> tuple[str, dict]:
         float_format="{:.4g}",
     )
     stats = {
+        "corpus": {
+            "records": observations.num_records,
+            "scored_cells": observations.num_cells,
+            "sources": observations.num_sources,
+            "extractors": observations.num_extractors,
+        },
+        "python_s": elapsed["python"],
+        "numpy_s": elapsed["numpy"],
         "speedup": speedup,
         "max_accuracy_diff": max_accuracy_diff,
         "max_posterior_diff": max_posterior_diff,
@@ -106,10 +111,11 @@ def test_bench_engine_scaling(benchmark):
         run_engine_scaling, rounds=1, iterations=1
     )
     save_result("engine_scaling", text)
+    save_stats("engine", stats, scale="smoke" if SMOKE else "full")
     # Both engines implement the same equations: outputs must agree.
     assert stats["max_accuracy_diff"] < 1e-9
     assert stats["max_posterior_diff"] < 1e-9
     # The point of the array engine: real-corpus throughput. Smoke runs
     # skip the timing gate — single-round timings on small corpora flake.
-    if not SMOKE:
+    if gate_timings("engine"):
         assert stats["speedup"] >= MIN_SPEEDUP

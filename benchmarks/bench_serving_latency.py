@@ -16,13 +16,19 @@ assertions still run, the timing gate is skipped (single-round timings on
 small corpora and shared runners are too noisy to gate on).
 """
 
-import json
 import os
 import statistics
 import time
 from collections import Counter
 
-from conftest import RESULTS_DIR, save_result
+from _harness import (
+    gate_timings,
+    is_smoke,
+    percentile,
+    save_result,
+    save_stats,
+    timed,
+)
 
 from repro.core.config import (
     AbsenceScope,
@@ -34,7 +40,7 @@ from repro.datasets.kv import KVConfig, generate_kv
 from repro.serving.store import TrustStore
 from repro.util.tables import format_table
 
-SMOKE = os.environ.get("SERVING_BENCH_SCALE") == "smoke"
+SMOKE = is_smoke("serving")
 
 #: High-redundancy KV corpus: stable truth layer, realistic heavy tail.
 SERVING_KV_CONFIG = KVConfig(
@@ -73,11 +79,6 @@ def _held_sites(counts: Counter) -> set[str]:
     return set(sorted(mainstream, key=lambda site: counts[site])[-3:])
 
 
-def _percentile(samples: list[float], q: float) -> float:
-    ordered = sorted(samples)
-    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
-
-
 def run_serving_bench(tmp_dir: str) -> tuple[str, dict]:
     corpus = generate_kv(SERVING_KV_CONFIG)
     records = list(corpus.campaign.records)
@@ -91,13 +92,9 @@ def run_serving_bench(tmp_dir: str) -> tuple[str, dict]:
 
     # --- persist + load ------------------------------------------------
     artifact_path = os.path.join(tmp_dir, "serving_bench.kbt")
-    start = time.perf_counter()
-    fitted.save(artifact_path)
-    save_s = time.perf_counter() - start
+    _, save_s = timed(fitted.save, artifact_path)
     artifact_bytes = os.path.getsize(artifact_path)
-    start = time.perf_counter()
-    store = TrustStore.open(artifact_path)
-    load_s = time.perf_counter() - start
+    store, load_s = timed(TrustStore.open, artifact_path)
 
     # --- query latency -------------------------------------------------
     sites = list(store.websites())
@@ -118,12 +115,8 @@ def run_serving_bench(tmp_dir: str) -> tuple[str, dict]:
         batch_ms.append((time.perf_counter_ns() - t0) / 1_000_000.0)
 
     # --- incremental update vs cold refit -------------------------------
-    start = time.perf_counter()
-    updated = fitted.update(new, sweeps=2)
-    update_s = time.perf_counter() - start
-    start = time.perf_counter()
-    cold = estimator.fit(records)
-    cold_s = time.perf_counter() - start
+    updated, update_s = timed(fitted.update, new, sweeps=2)
+    cold, cold_s = timed(estimator.fit, records)
 
     warm_scores = updated.website_scores()
     cold_scores = cold.website_scores()
@@ -151,10 +144,10 @@ def run_serving_bench(tmp_dir: str) -> tuple[str, dict]:
             "size_bytes": artifact_bytes,
         },
         "query": {
-            "single_p50_us": _percentile(single_us, 0.50),
-            "single_p99_us": _percentile(single_us, 0.99),
-            "batch100_p50_ms": _percentile(batch_ms, 0.50),
-            "batch100_p99_ms": _percentile(batch_ms, 0.99),
+            "single_p50_us": percentile(single_us, 0.50),
+            "single_p99_us": percentile(single_us, 0.99),
+            "batch100_p50_ms": percentile(batch_ms, 0.50),
+            "batch100_p99_ms": percentile(batch_ms, 0.99),
             "single_lookups": SINGLE_LOOKUPS,
             "batch_rounds": BATCH_ROUNDS,
         },
@@ -203,17 +196,12 @@ def test_bench_serving_latency(benchmark, tmp_path):
         run_serving_bench, args=(str(tmp_path),), rounds=1, iterations=1
     )
     save_result("serving_latency", text)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    json_path = RESULTS_DIR / "BENCH_serving.json"
-    json_path.write_text(
-        json.dumps(stats, indent=2) + "\n", encoding="utf-8"
-    )
-    print(f"[stats saved to {json_path}]")
+    save_stats("serving", stats, scale=stats["scale"])
 
     # Warm-start onboarding must track the cold refit for every new site.
     assert stats["incremental"]["new_site_diffs"], "no held site was scored"
     assert stats["incremental"]["max_new_site_diff"] <= MAX_NEW_SITE_DIFF
     # Timing gates only at full scale: small corpora cannot amortise the
     # fixed per-fit overhead and shared CI runners are too noisy.
-    if not SMOKE:
+    if gate_timings("serving"):
         assert stats["incremental"]["speedup"] >= MIN_UPDATE_SPEEDUP

@@ -17,11 +17,10 @@ assertions (signal coverage, fused separation of cohorts) still run, the
 timings are recorded but not gated.
 """
 
-import json
 import os
 import time
 
-from conftest import RESULTS_DIR, save_result
+from _harness import is_smoke, percentile, save_result, save_stats, timed
 
 from repro.core.config import (
     AbsenceScope,
@@ -35,7 +34,7 @@ from repro.signals import CorpusContext, SignalSuite, fuse
 from repro.util.tables import format_table
 from repro.web.graph import generate_web_graph
 
-SMOKE = os.environ.get("SIGNALS_BENCH_SCALE") == "smoke"
+SMOKE = is_smoke("signals")
 
 SIGNALS_KV_CONFIG = KVConfig(
     num_websites=200 if SMOKE else 800,
@@ -53,11 +52,6 @@ SIGNALS_MODEL_CONFIG = MultiLayerConfig(
 
 FUSED_LOOKUPS = 5_000
 BREAKDOWN_LOOKUPS = 2_000
-
-
-def _percentile(samples: list[float], q: float) -> float:
-    ordered = sorted(samples)
-    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
 
 
 def run_signals_bench(tmp_dir: str) -> tuple[str, dict]:
@@ -81,9 +75,7 @@ def run_signals_bench(tmp_dir: str) -> tuple[str, dict]:
     provider_stats = {}
     results = []
     for name in suite.names:
-        start = time.perf_counter()
-        scores = suite.provider(name).fit(context)
-        elapsed = time.perf_counter() - start
+        scores, elapsed = timed(suite.provider(name).fit, context)
         provider_stats[name] = {
             "fit_s": elapsed,
             "websites": len(scores),
@@ -98,14 +90,13 @@ def run_signals_bench(tmp_dir: str) -> tuple[str, dict]:
     # --- artifact round trip with signals embedded ---------------------
     artifact_path = os.path.join(tmp_dir, "signals_bench.kbt")
     signals = {name: frame.signal(name) for name in frame.names}
-    start = time.perf_counter()
-    context.fitted_kbt().save(
-        artifact_path, signals=signals, fusion_weights=fusion.weights
+    _, save_s = timed(
+        context.fitted_kbt().save,
+        artifact_path,
+        signals=signals,
+        fusion_weights=fusion.weights,
     )
-    save_s = time.perf_counter() - start
-    start = time.perf_counter()
-    store = TrustStore.open(artifact_path)
-    load_s = time.perf_counter() - start
+    store, load_s = timed(TrustStore.open, artifact_path)
     assert store.signal_names() == suite.names
 
     # --- fused-query latency ------------------------------------------
@@ -156,10 +147,10 @@ def run_signals_bench(tmp_dir: str) -> tuple[str, dict]:
             "size_bytes": os.path.getsize(artifact_path),
         },
         "query": {
-            "fused_p50_us": _percentile(fused_us, 0.50),
-            "fused_p99_us": _percentile(fused_us, 0.99),
-            "breakdown_p50_us": _percentile(breakdown_us, 0.50),
-            "breakdown_p99_us": _percentile(breakdown_us, 0.99),
+            "fused_p50_us": percentile(fused_us, 0.50),
+            "fused_p99_us": percentile(fused_us, 0.99),
+            "breakdown_p50_us": percentile(breakdown_us, 0.50),
+            "breakdown_p99_us": percentile(breakdown_us, 0.99),
         },
     }
 
@@ -198,12 +189,7 @@ def test_bench_signals(benchmark, tmp_path):
         run_signals_bench, args=(str(tmp_path),), rounds=1, iterations=1
     )
     save_result("signals_suite", text)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    json_path = RESULTS_DIR / "BENCH_signals.json"
-    json_path.write_text(
-        json.dumps(stats, indent=2) + "\n", encoding="utf-8"
-    )
-    print(f"[stats saved to {json_path}]")
+    save_stats("signals", stats, scale=stats["scale"])
 
     # Every provider scores a meaningful share of the corpus.
     for name, provider in stats["providers"].items():

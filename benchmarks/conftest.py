@@ -9,9 +9,12 @@ output capture. EXPERIMENTS.md summarises paper-vs-measured for each.
 
 from __future__ import annotations
 
-import pathlib
-
 import pytest
+
+# The shared harness owns the results layout, scale envs and timing
+# helpers; re-exported here so every bench can keep importing them from
+# conftest.
+from _harness import RESULTS_DIR, save_result  # noqa: F401
 
 from repro.core.config import (
     AbsenceScope,
@@ -20,8 +23,6 @@ from repro.core.config import (
     SingleLayerConfig,
 )
 from repro.datasets.kv import KVConfig, generate_kv
-
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: The corpus every KV-data bench shares (Tables 5-7, Figures 5-10).
 BENCH_KV_CONFIG = KVConfig(
@@ -70,9 +71,3 @@ def kv_smart_init(kv_corpus):
     )
 
 
-def save_result(name: str, text: str) -> None:
-    """Print a bench artifact and persist it under benchmarks/results/."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(text + "\n", encoding="utf-8")
-    print(f"\n{text}\n[saved to {path}]")

@@ -10,6 +10,7 @@ The subcommands mirror the fit -> persist -> query lifecycle:
       kbt demo demo.jsonl --websites 100 --seed 7 --gold gold.jsonl
       kbt fit demo.jsonl --artifact model.kbt --output scores.csv
       kbt fit demo.jsonl --artifact model.kbt --signals all --gold gold.jsonl
+      kbt fit demo.jsonl --artifact model.kbt --backend processes --shards 8
 
 * ``query`` — answer score lookups from an artifact without refitting::
 
@@ -48,6 +49,7 @@ import argparse
 import json
 import sys
 
+from repro.core import registry
 from repro.core.config import (
     AbsenceScope,
     GranularityConfig,
@@ -194,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--sweeps", type=int, default=2,
         help="EM sweeps over the delta sub-problem (default 2)",
     )
+    _add_exec_options(update)
     _add_summary_options(update)
 
     demo = sub.add_parser(
@@ -237,8 +240,28 @@ def _add_model_options(parser: argparse.ArgumentParser) -> None:
         "--iterations", type=int, default=5, help="EM iterations",
     )
     parser.add_argument(
-        "--engine", choices=["python", "numpy"], default="numpy",
-        help="inference backend (numpy: vectorized, several times faster)",
+        "--engine", choices=list(registry.engine_names()), default="numpy",
+        help="inference engine (numpy: vectorized, several times faster)",
+    )
+    _add_exec_options(parser)
+
+
+def _add_exec_options(parser: argparse.ArgumentParser) -> None:
+    """Sharded-execution knobs (``fit`` / ``estimate`` / ``update``)."""
+    parser.add_argument(
+        "--backend", choices=list(registry.backend_names()), default=None,
+        help=(
+            "sharded execution backend (map per data-item shard, one "
+            "reduce per EM iteration; results are bit-identical across "
+            "backends and shard counts); default: unsharded"
+        ),
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help=(
+            "number of data-item shards for --backend "
+            "(default: one per CPU)"
+        ),
     )
 
 
@@ -275,6 +298,8 @@ def _build_estimator(args: argparse.Namespace) -> KBTEstimator:
         config=config,
         granularity=granularity,
         min_triples=args.min_triples,
+        backend=args.backend,
+        num_shards=args.shards,
     )
 
 
@@ -367,8 +392,10 @@ def _fit_signals(
 def run_fit(args: argparse.Namespace, deprecated_alias: bool = False) -> int:
     if deprecated_alias:
         print(
-            "warning: 'kbt estimate' is deprecated; use 'kbt fit' "
-            "(optionally with --artifact) instead",
+            "warning: 'kbt estimate' is deprecated and will be removed; "
+            f"run 'kbt fit {args.records}' instead (same options and "
+            "output; add --artifact model.kbt to persist the fitted "
+            "model for query/serve/update)",
             file=sys.stderr,
         )
     # Stream straight into the matrix: no intermediate record list.
@@ -529,7 +556,10 @@ def run_update(args: argparse.Namespace) -> int:
     fitted = FittedKBT.from_artifact(artifact)
     before = set(fitted.website_scores())
     updated = fitted.update(
-        read_records(args.records), sweeps=args.sweeps
+        read_records(args.records),
+        sweeps=args.sweeps,
+        backend=args.backend,
+        num_shards=args.shards,
     )
     out_path = args.artifact_out or args.artifact
     updated.save(out_path)

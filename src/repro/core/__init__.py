@@ -1,14 +1,18 @@
 """The paper's contribution: single- and multi-layer fusion models, vote
 algebra, granularity selection, and the Knowledge-Based Trust estimator.
 
-The multi-layer model ships two interchangeable inference backends selected
+The multi-layer model ships two interchangeable inference engines selected
 by ``MultiLayerConfig.engine``: the reference pure-Python implementation
 (``"python"``) and a vectorized NumPy engine (``"numpy"``, see
 ``repro.core.engine_numpy``) that compiles the observation matrix into
 integer-indexed arrays (``repro.core.indexing``) and runs Algorithm 1 as
 segment operations — numerically matching to <= 1e-9 and several times
-faster on large corpora."""
+faster on large corpora. ``MultiLayerConfig.backend`` additionally routes
+the numpy engine through the sharded execution API (``repro.exec``:
+serial / threads / processes, bit-identical to unsharded runs); engines
+and backends both register in ``repro.core.registry``."""
 
+from repro.core import registry
 from repro.core.config import (
     AbsenceScope,
     ConvergenceConfig,
@@ -81,6 +85,7 @@ __all__ = [
     "extraction_posterior",
     "page_source",
     "pattern_extractor",
+    "registry",
     "value_posteriors",
     "website_source",
 ]

@@ -21,9 +21,17 @@ summation order (parity is asserted to <= 1e-9 by the test suite), and the
 returned :class:`~repro.core.results.MultiLayerResult` is built from the
 same dict-of-keys views, so downstream consumers cannot tell the engines
 apart.
+
+The building blocks — :func:`init_params`, :func:`iteration_inputs`,
+:func:`update_parameters`, :func:`assemble_result` — are shared with the
+sharded execution driver (:mod:`repro.exec.driver`), which runs the same
+E steps per shard (map) and the same parameter update globally (reduce),
+so sharded runs are bit-identical to this engine.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -66,27 +74,41 @@ def _log_odds(p: np.ndarray, floor: float = PROB_FLOOR) -> np.ndarray:
     return np.log(p) - np.log(1.0 - p)
 
 
-def fit_numpy(
+@dataclass
+class ParamState:
+    """Mutable model parameters shared by the engine and the sharded driver.
+
+    ``accuracy`` is indexed by source id, the quality vectors by extractor
+    column; the masks gate the theta_1 / theta_2 updates exactly like the
+    Python engine's estimable / frozen checks.
+    """
+
+    accuracy: np.ndarray
+    precision: np.ndarray
+    recall: np.ndarray
+    q_vec: np.ndarray
+    estimable_src_mask: np.ndarray
+    unfrozen_src_mask: np.ndarray
+    unfrozen_col_mask: np.ndarray
+    quality_init: dict[ExtractorKey, ExtractorQuality]
+
+
+def init_params(
     cfg: MultiLayerConfig,
-    observations: ObservationMatrix,
+    prob: CompiledProblem,
     initial_source_accuracy: dict[SourceKey, float] | None = None,
     initial_extractor_quality: dict[ExtractorKey, ExtractorQuality]
     | None = None,
     frozen_extractors: set[ExtractorKey] | None = None,
     frozen_sources: set[SourceKey] | None = None,
-) -> MultiLayerResult:
-    """Run Algorithm 1 with the array backend; same contract as ``fit``."""
+) -> ParamState:
+    """Parameter initialisation (mirrors ``_FitState.init_qualities``)."""
     # Local import avoids a cycle: multi_layer dispatches to this module.
     from repro.core.multi_layer import default_precision
 
-    prob = compile_problem(observations, cfg)
     n_sources = len(prob.sources)
-    n_coords = prob.num_coords
     n_cols = prob.num_cols
-    n_triples = prob.num_triples
-    active_scope = cfg.absence_scope is AbsenceScope.ACTIVE
 
-    # --- parameter initialisation (mirrors _FitState.init_qualities) ------
     accuracy = np.full(n_sources, cfg.default_accuracy)
     if initial_source_accuracy:
         src_idx = {source: i for i, source in enumerate(prob.sources)}
@@ -132,6 +154,201 @@ def fit_numpy(
             if source in frozen_sources:
                 unfrozen_src_mask[i] = False
 
+    return ParamState(
+        accuracy=accuracy,
+        precision=precision,
+        recall=recall,
+        q_vec=q_vec,
+        estimable_src_mask=estimable_src_mask,
+        unfrozen_src_mask=unfrozen_src_mask,
+        unfrozen_col_mask=unfrozen_col_mask,
+        quality_init=quality_init,
+    )
+
+
+def iteration_inputs(
+    cfg: MultiLayerConfig, prob: CompiledProblem, params: ParamState
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | float, np.ndarray]:
+    """The per-iteration vote vectors derived from the current parameters.
+
+    Returns ``(pre_vote, abs_vote, base_absence, source_vote)``:
+    presence / absence log-odds per extractor column (Eq. 14 / 31), the
+    absence total per source (an array under the ACTIVE scope, a scalar
+    under ALL), and each source's V-step vote weight (Eq. 19 — with the
+    ``log n`` term folded in under ACCU; POPACCU subtracts the per-claim
+    log-popularity instead, which stays shard-local).
+    """
+    pre_vote = _safe_log(params.recall) - _safe_log(params.q_vec)
+    abs_vote = _safe_log(1.0 - params.recall) - _safe_log(1.0 - params.q_vec)
+    if cfg.absence_scope is AbsenceScope.ACTIVE:
+        base_absence: np.ndarray | float = np.bincount(
+            prob.active_src,
+            weights=abs_vote[prob.active_col],
+            minlength=len(prob.sources),
+        )
+    else:
+        base_absence = abs_vote.sum()
+    if prob.triple_popularity is None:
+        source_vote = safe_log(float(cfg.n)) + _log_odds(params.accuracy)
+    else:
+        source_vote = _log_odds(params.accuracy)
+    return pre_vote, abs_vote, base_absence, source_vote
+
+
+def update_parameters(
+    cfg: MultiLayerConfig,
+    prob: CompiledProblem,
+    params: ParamState,
+    p_correct: np.ndarray,
+    posterior: np.ndarray,
+) -> tuple[float, float]:
+    """The reduce step: theta_1 (Eq. 27/28) + theta_2 (Eq. 29-33, Eq. 7).
+
+    Consumes the globally assembled ``p_correct`` / ``posterior`` of one
+    EM iteration, updates ``params`` in place, and returns
+    ``(accuracy_delta, extractor_delta)`` for the convergence check.
+    """
+    n_sources = len(prob.sources)
+    n_cols = prob.num_cols
+    active_scope = cfg.absence_scope is AbsenceScope.ACTIVE
+    claim_source = prob.coord_source[prob.claim_coord]
+    accuracy = params.accuracy
+    precision = params.precision
+    recall = params.recall
+    q_vec = params.q_vec
+
+    # --- theta_1 (Eq. 27/28): masked segment means per source -----------
+    claim_p = p_correct[prob.claim_coord]
+    keep = claim_p >= 0.5
+    base_weight = claim_p if cfg.use_weighted_vcv else np.ones_like(claim_p)
+    masked_weight = np.where(keep, base_weight, 0.0)
+    acc_numer = np.bincount(
+        claim_source,
+        weights=masked_weight * posterior[prob.claim_triple],
+        minlength=n_sources,
+    )
+    acc_denom = np.bincount(
+        claim_source, weights=masked_weight, minlength=n_sources
+    )
+    acc_update = (
+        params.estimable_src_mask
+        & (acc_denom > 0.0)
+        & params.unfrozen_src_mask
+    )
+    accuracy_delta = 0.0
+    if acc_update.any():
+        new_accuracy = np.clip(
+            acc_numer[acc_update] / acc_denom[acc_update],
+            cfg.quality_floor,
+            cfg.quality_ceiling,
+        )
+        accuracy_delta = float(
+            np.abs(new_accuracy - accuracy[acc_update]).max()
+        )
+        accuracy[acc_update] = new_accuracy
+
+    # --- theta_2 (Eq. 29-33 + Eq. 7): segment sums per column -----------
+    precision_floor = max(cfg.quality_floor, cfg.gamma)
+    extractor_delta = 0.0
+    if cfg.freeze_extractor_quality:
+        ext_update = np.zeros(n_cols, dtype=bool)
+    else:
+        ext_numer = np.bincount(
+            prob.entry_col,
+            weights=prob.entry_conf * p_correct[prob.entry_coord],
+            minlength=n_cols,
+        )
+        conf_total = np.bincount(
+            prob.entry_col, weights=prob.entry_conf, minlength=n_cols
+        )
+        if active_scope:
+            p_by_source = np.bincount(
+                prob.coord_source, weights=p_correct, minlength=n_sources
+            )
+            recall_denom = np.bincount(
+                prob.active_col,
+                weights=p_by_source[prob.active_src],
+                minlength=n_cols,
+            )
+        else:
+            recall_denom = np.full(n_cols, float(p_correct.sum()))
+        ext_update = (
+            (conf_total > 0.0)
+            & (recall_denom > 0.0)
+            & params.unfrozen_col_mask
+        )
+    if ext_update.any():
+        new_precision = np.clip(
+            ext_numer[ext_update] / conf_total[ext_update],
+            precision_floor,
+            cfg.quality_ceiling,
+        )
+        new_recall = np.clip(
+            ext_numer[ext_update] / recall_denom[ext_update],
+            cfg.quality_floor,
+            cfg.quality_ceiling,
+        )
+        if cfg.quality_damping < 1.0:
+            damping = cfg.quality_damping
+            new_precision = (1.0 - damping) * precision[
+                ext_update
+            ] + damping * new_precision
+            new_recall = (1.0 - damping) * recall[
+                ext_update
+            ] + damping * new_recall
+        clamped_p = np.clip(
+            new_precision, cfg.quality_floor, cfg.quality_ceiling
+        )
+        clamped_r = np.clip(
+            new_recall, cfg.quality_floor, cfg.quality_ceiling
+        )
+        new_q = np.clip(
+            cfg.gamma
+            / (1.0 - cfg.gamma)
+            * (1.0 - clamped_p)
+            / clamped_p
+            * clamped_r,
+            cfg.quality_floor,
+            cfg.quality_ceiling,
+        )
+        extractor_delta = float(
+            np.maximum(
+                np.abs(new_precision - precision[ext_update]),
+                np.abs(new_recall - recall[ext_update]),
+            ).max()
+        )
+        precision[ext_update] = new_precision
+        recall[ext_update] = new_recall
+        q_vec[ext_update] = new_q
+
+    return accuracy_delta, extractor_delta
+
+
+def fit_numpy(
+    cfg: MultiLayerConfig,
+    observations: ObservationMatrix,
+    initial_source_accuracy: dict[SourceKey, float] | None = None,
+    initial_extractor_quality: dict[ExtractorKey, ExtractorQuality]
+    | None = None,
+    frozen_extractors: set[ExtractorKey] | None = None,
+    frozen_sources: set[SourceKey] | None = None,
+) -> MultiLayerResult:
+    """Run Algorithm 1 with the array backend; same contract as ``fit``."""
+    prob = compile_problem(observations, cfg)
+    n_sources = len(prob.sources)
+    n_coords = prob.num_coords
+    n_triples = prob.num_triples
+    active_scope = cfg.absence_scope is AbsenceScope.ACTIVE
+
+    params = init_params(
+        cfg,
+        prob,
+        initial_source_accuracy,
+        initial_extractor_quality,
+        frozen_extractors,
+        frozen_sources,
+    )
+
     priors = np.full(n_coords, cfg.alpha)
     priors_updated = False
     log_pop = (
@@ -139,7 +356,6 @@ def fit_numpy(
         if prob.triple_popularity is not None
         else None
     )
-    log_n = safe_log(float(cfg.n))
     num_unobserved = np.maximum(cfg.n + 1 - prob.item_num_values, 0).astype(
         np.float64
     )
@@ -147,7 +363,6 @@ def fit_numpy(
     claim_log_pop = (
         log_pop[prob.claim_triple] if log_pop is not None else None
     )
-    precision_floor = max(cfg.quality_floor, cfg.gamma)
 
     p_correct = np.zeros(n_coords)
     posterior = np.zeros(n_triples)
@@ -156,27 +371,20 @@ def fit_numpy(
     history: list[IterationSnapshot] = []
     for iteration in range(1, cfg.convergence.max_iterations + 1):
         # --- C step (Section 3.3.1): VCC' + prior log-odds -> sigmoid -----
-        pre_vote = _safe_log(recall) - _safe_log(q_vec)
-        abs_vote = _safe_log(1.0 - recall) - _safe_log(1.0 - q_vec)
+        pre_vote, abs_vote, base_absence, source_vote = iteration_inputs(
+            cfg, prob, params
+        )
         if active_scope:
-            base_absence = np.bincount(
-                prob.active_src,
-                weights=abs_vote[prob.active_col],
-                minlength=n_sources,
-            )[prob.coord_source]
+            base = base_absence[prob.coord_source]
         else:
-            base_absence = abs_vote.sum()
-        vcc = base_absence + np.bincount(
+            base = base_absence
+        vcc = base + np.bincount(
             prob.entry_coord,
             weights=prob.entry_conf
             * (pre_vote - abs_vote)[prob.entry_col],
             minlength=n_coords,
         )
         p_correct = _sigmoid(vcc + _log_odds(priors))
-        p_by_source = np.bincount(
-            prob.coord_source, weights=p_correct, minlength=n_sources
-        )
-        total_p_correct = float(p_correct.sum())
 
         # --- V step (Sections 3.3.2-3.3.3): segmented softmax per item ----
         claim_p = p_correct[prob.claim_coord]
@@ -185,11 +393,10 @@ def fit_numpy(
         else:
             claim_weight = np.where(claim_p >= 0.5, 1.0, 0.0)
         if claim_log_pop is None:
-            per_source_vote = log_n + _log_odds(accuracy)
-            contrib = claim_weight * per_source_vote[claim_source]
+            contrib = claim_weight * source_vote[claim_source]
         else:
             contrib = claim_weight * (
-                _log_odds(accuracy)[claim_source] - claim_log_pop
+                source_vote[claim_source] - claim_log_pop
             )
         votes = np.bincount(
             prob.claim_triple, weights=contrib, minlength=n_triples
@@ -213,98 +420,10 @@ def fit_numpy(
             posterior = np.zeros(0)
             residual = np.zeros(0)
 
-        # --- theta_1 (Eq. 27/28): masked segment means per source ---------
-        keep = claim_p >= 0.5
-        base_weight = claim_p if cfg.use_weighted_vcv else np.ones_like(claim_p)
-        masked_weight = np.where(keep, base_weight, 0.0)
-        acc_numer = np.bincount(
-            claim_source,
-            weights=masked_weight * posterior[prob.claim_triple],
-            minlength=n_sources,
+        # --- M steps (the reduce): theta_1 + theta_2 ----------------------
+        accuracy_delta, extractor_delta = update_parameters(
+            cfg, prob, params, p_correct, posterior
         )
-        acc_denom = np.bincount(
-            claim_source, weights=masked_weight, minlength=n_sources
-        )
-        acc_update = estimable_src_mask & (acc_denom > 0.0) & unfrozen_src_mask
-        accuracy_delta = 0.0
-        if acc_update.any():
-            new_accuracy = np.clip(
-                acc_numer[acc_update] / acc_denom[acc_update],
-                cfg.quality_floor,
-                cfg.quality_ceiling,
-            )
-            accuracy_delta = float(
-                np.abs(new_accuracy - accuracy[acc_update]).max()
-            )
-            accuracy[acc_update] = new_accuracy
-
-        # --- theta_2 (Eq. 29-33 + Eq. 7): segment sums per column ---------
-        extractor_delta = 0.0
-        if cfg.freeze_extractor_quality:
-            ext_update = np.zeros(n_cols, dtype=bool)
-        else:
-            ext_numer = np.bincount(
-                prob.entry_col,
-                weights=prob.entry_conf * p_correct[prob.entry_coord],
-                minlength=n_cols,
-            )
-            conf_total = np.bincount(
-                prob.entry_col, weights=prob.entry_conf, minlength=n_cols
-            )
-            if active_scope:
-                recall_denom = np.bincount(
-                    prob.active_col,
-                    weights=p_by_source[prob.active_src],
-                    minlength=n_cols,
-                )
-            else:
-                recall_denom = np.full(n_cols, total_p_correct)
-            ext_update = (
-                (conf_total > 0.0) & (recall_denom > 0.0) & unfrozen_col_mask
-            )
-        if ext_update.any():
-            new_precision = np.clip(
-                ext_numer[ext_update] / conf_total[ext_update],
-                precision_floor,
-                cfg.quality_ceiling,
-            )
-            new_recall = np.clip(
-                ext_numer[ext_update] / recall_denom[ext_update],
-                cfg.quality_floor,
-                cfg.quality_ceiling,
-            )
-            if cfg.quality_damping < 1.0:
-                damping = cfg.quality_damping
-                new_precision = (1.0 - damping) * precision[
-                    ext_update
-                ] + damping * new_precision
-                new_recall = (1.0 - damping) * recall[
-                    ext_update
-                ] + damping * new_recall
-            clamped_p = np.clip(
-                new_precision, cfg.quality_floor, cfg.quality_ceiling
-            )
-            clamped_r = np.clip(
-                new_recall, cfg.quality_floor, cfg.quality_ceiling
-            )
-            new_q = np.clip(
-                cfg.gamma
-                / (1.0 - cfg.gamma)
-                * (1.0 - clamped_p)
-                / clamped_p
-                * clamped_r,
-                cfg.quality_floor,
-                cfg.quality_ceiling,
-            )
-            extractor_delta = float(
-                np.maximum(
-                    np.abs(new_precision - precision[ext_update]),
-                    np.abs(new_recall - recall[ext_update]),
-                ).max()
-            )
-            precision[ext_update] = new_precision
-            recall[ext_update] = new_recall
-            q_vec[ext_update] = new_q
 
         # --- prior re-estimation (Eq. 26) ---------------------------------
         if cfg.update_prior and (
@@ -317,7 +436,7 @@ def fit_numpy(
             has_item = ~has_triple & (prob.coord_item >= 0)
             if residual.size:
                 p_true[has_item] = residual[prob.coord_item[has_item]]
-            source_accuracy = accuracy[prob.coord_source]
+            source_accuracy = params.accuracy[prob.coord_source]
             priors = np.clip(
                 p_true * source_accuracy
                 + (1.0 - p_true) * (1.0 - source_accuracy),
@@ -332,35 +451,32 @@ def fit_numpy(
         if max(accuracy_delta, extractor_delta) < cfg.convergence.tolerance:
             break
 
-    return _assemble_result(
+    return assemble_result(
         prob,
         observations,
         p_correct,
         posterior,
-        accuracy,
-        precision,
-        recall,
-        q_vec,
-        quality_init,
+        params,
         priors if priors_updated else None,
         history,
     )
 
 
-def _assemble_result(
+def assemble_result(
     prob: CompiledProblem,
     observations: ObservationMatrix,
     p_correct: np.ndarray,
     posterior: np.ndarray,
-    accuracy: np.ndarray,
-    precision: np.ndarray,
-    recall: np.ndarray,
-    q_vec: np.ndarray,
-    quality_init: dict[ExtractorKey, ExtractorQuality],
+    params: ParamState,
     priors: np.ndarray | None,
     history: list[IterationSnapshot],
 ) -> MultiLayerResult:
     """Convert the final arrays back into the dict-of-keys result views."""
+    accuracy = params.accuracy
+    precision = params.precision
+    recall = params.recall
+    q_vec = params.q_vec
+    quality_init = params.quality_init
     posterior_list = posterior.tolist()
     value_posteriors: dict[DataItem, dict[Value, float]] = {}
     ptr = prob.item_ptr

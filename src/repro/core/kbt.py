@@ -226,8 +226,16 @@ class FittedKBT:
         self,
         new_records: Iterable[ExtractionRecord],
         sweeps: int = 2,
+        backend: str | None = None,
+        num_shards: int | None = None,
     ) -> "FittedKBT":
         """Fold new extraction records in without a full refit.
+
+        ``backend`` / ``num_shards`` override the sharded execution
+        settings for this update only (see
+        :class:`~repro.core.config.MultiLayerConfig`); by default the
+        update runs with the fit's own configuration. Results are
+        backend-invariant either way.
 
         Converged extractor qualities are frozen at their fitted values
         and the source/value layers re-run for ``sweeps`` EM iterations on
@@ -265,6 +273,12 @@ class FittedKBT:
                 self.config.convergence, max_iterations=sweeps
             ),
         )
+        if backend is not None or num_shards is not None:
+            delta_config = replace(
+                delta_config, **_execution_overrides(
+                    delta_config, backend, num_shards
+                )
+            )
         delta_result = MultiLayerModel(delta_config).fit(
             delta_obs,
             initial_source_accuracy=self.result.source_accuracy,
@@ -412,8 +426,18 @@ class KBTEstimator:
         min_triples: reporting threshold — the paper publishes KBT only for
             sources with at least 5 correctly-extracted triples.
         seed: seed for the (random) uniform splitting of oversized keys.
-        engine: when given, overrides ``config.engine`` ("python" or
-            "numpy") without the caller having to rebuild the config.
+        engine: when given, overrides ``config.engine`` (a name from
+            :func:`repro.core.registry.engine_names`) without the caller
+            having to rebuild the config.
+        backend: when given, overrides ``config.backend`` — sharded
+            execution through one of
+            :func:`repro.core.registry.backend_names` (``serial`` /
+            ``threads`` / ``processes``). Sharded execution runs on the
+            numpy engine, so a default (python-engine) config is upgraded
+            to ``engine="numpy"`` automatically; results are bit-identical
+            across backends and shard counts.
+        num_shards: when given, overrides ``config.num_shards`` (requires
+            a backend).
     """
 
     def __init__(
@@ -423,12 +447,23 @@ class KBTEstimator:
         min_triples: float = 5.0,
         seed: int = 0,
         engine: str | None = None,
+        backend: str | None = None,
+        num_shards: int | None = None,
     ) -> None:
         if min_triples < 0:
             raise ValueError(f"min_triples must be >= 0, got {min_triples}")
         self._config = config or MultiLayerConfig()
         if engine is not None and engine != self._config.engine:
             self._config = replace(self._config, engine=engine)
+        if backend is not None or num_shards is not None:
+            overrides = _execution_overrides(
+                self._config, backend, num_shards
+            )
+            if engine is not None:
+                # The caller pinned the engine explicitly: no silent
+                # upgrade — an incompatible pair fails config validation.
+                overrides.pop("engine", None)
+            self._config = replace(self._config, **overrides)
         self._granularity = granularity
         self._min_triples = min_triples
         self._seed = seed
@@ -501,8 +536,10 @@ class KBTEstimator:
         import warnings
 
         warnings.warn(
-            "KBTEstimator.estimate is deprecated; use "
-            "KBTEstimator.fit(...).report instead",
+            "KBTEstimator.estimate is deprecated and will be removed; "
+            "replace 'estimator.estimate(data)' with "
+            "'estimator.fit(data).report' (same KBTReport; the FittedKBT "
+            "handle additionally supports save/update/serving)",
             DeprecationWarning,
             stacklevel=2,
         )
@@ -511,6 +548,30 @@ class KBTEstimator:
             initial_source_accuracy=initial_source_accuracy,
             initial_extractor_quality=initial_extractor_quality,
         ).report
+
+
+def _execution_overrides(
+    config: MultiLayerConfig,
+    backend: str | None,
+    num_shards: int | None,
+) -> dict:
+    """Config overrides for an execution backend / shard-count request.
+
+    Sharded execution runs over the numpy engine's compiled arrays, so
+    requesting a backend on a (default) python-engine config upgrades the
+    engine too — the results are bit-identical to the numpy engine and
+    within 1e-9 of the python engine either way. An explicit
+    ``engine="python"`` together with a backend is rejected by
+    ``MultiLayerConfig`` validation.
+    """
+    overrides: dict = {}
+    if backend is not None:
+        overrides["backend"] = backend
+        if config.engine == "python":
+            overrides["engine"] = "numpy"
+    if num_shards is not None:
+        overrides["num_shards"] = num_shards
+    return overrides
 
 
 def _transfer_initialisation(initial: dict, final_keys: Iterable) -> dict:

@@ -27,6 +27,7 @@ Section 5.1.1).
 
 from __future__ import annotations
 
+from repro.core import registry
 from repro.core.config import AbsenceScope, FalseValueModel, MultiLayerConfig
 from repro.core.observation import ObservationMatrix
 from repro.core.quality import ExtractorQuality, derive_q
@@ -97,18 +98,17 @@ class MultiLayerModel:
                 are estimated normally.
         """
         cfg = self._config
-        if cfg.engine == "numpy":
-            # Import on dispatch so the reference engine stays usable in
-            # environments without numpy.
+        if cfg.backend is not None:
+            # Sharded execution: the numpy E steps run per shard (map),
+            # one global parameter update per iteration (reduce).
             try:
-                from repro.core.engine_numpy import fit_numpy
+                fit_sharded = registry.resolve_backend_driver()
             except ImportError as exc:
                 raise RuntimeError(
-                    'engine="numpy" requires the numpy package; install '
-                    'numpy or select engine="python"'
+                    f"backend={cfg.backend!r} requires the numpy package; "
+                    "install numpy or drop the backend setting"
                 ) from exc
-
-            return fit_numpy(
+            return fit_sharded(
                 cfg,
                 observations,
                 initial_source_accuracy,
@@ -116,41 +116,70 @@ class MultiLayerModel:
                 frozen_extractors,
                 frozen_sources,
             )
-        state = _FitState(cfg, observations)
-        state.init_qualities(initial_source_accuracy, initial_extractor_quality)
-
-        history: list[IterationSnapshot] = []
-        for iteration in range(1, cfg.convergence.max_iterations + 1):
-            state.estimate_extraction_correctness()
-            state.estimate_values()
-            accuracy_delta = state.update_source_accuracy(frozen_sources)
-            if cfg.freeze_extractor_quality:
-                extractor_delta = 0.0
-            else:
-                extractor_delta = state.update_extractor_quality(
-                    frozen_extractors
-                )
-            if cfg.update_prior and (
-                iteration + 1 >= cfg.prior_update_start_iteration
-            ):
-                state.update_priors()
-            history.append(
-                IterationSnapshot(iteration, accuracy_delta, extractor_delta)
-            )
-            if max(accuracy_delta, extractor_delta) < cfg.convergence.tolerance:
-                break
-
-        return MultiLayerResult(
-            value_posteriors=state.posteriors,
-            extraction_posteriors=state.p_correct,
-            source_accuracy=state.accuracy,
-            extractor_quality=state.quality,
-            estimable_sources=state.estimable_sources,
-            estimable_extractors=state.estimable_extractors,
-            num_triples_total=observations.num_triples,
-            history=history,
-            priors=state._priors,
+        # Import on dispatch so the reference engine stays usable in
+        # environments without numpy.
+        try:
+            fit_fn = registry.resolve_engine(cfg.engine)
+        except ImportError as exc:
+            raise RuntimeError(
+                f"engine={cfg.engine!r} requires the numpy package; "
+                'install numpy or select engine="python"'
+            ) from exc
+        return fit_fn(
+            cfg,
+            observations,
+            initial_source_accuracy,
+            initial_extractor_quality,
+            frozen_extractors,
+            frozen_sources,
         )
+
+
+def fit_python(
+    cfg: MultiLayerConfig,
+    observations: ObservationMatrix,
+    initial_source_accuracy: dict[SourceKey, float] | None = None,
+    initial_extractor_quality: dict[ExtractorKey, ExtractorQuality]
+    | None = None,
+    frozen_extractors: set[ExtractorKey] | None = None,
+    frozen_sources: set[SourceKey] | None = None,
+) -> MultiLayerResult:
+    """Algorithm 1 on the reference dict-based state (``engine="python"``)."""
+    state = _FitState(cfg, observations)
+    state.init_qualities(initial_source_accuracy, initial_extractor_quality)
+
+    history: list[IterationSnapshot] = []
+    for iteration in range(1, cfg.convergence.max_iterations + 1):
+        state.estimate_extraction_correctness()
+        state.estimate_values()
+        accuracy_delta = state.update_source_accuracy(frozen_sources)
+        if cfg.freeze_extractor_quality:
+            extractor_delta = 0.0
+        else:
+            extractor_delta = state.update_extractor_quality(
+                frozen_extractors
+            )
+        if cfg.update_prior and (
+            iteration + 1 >= cfg.prior_update_start_iteration
+        ):
+            state.update_priors()
+        history.append(
+            IterationSnapshot(iteration, accuracy_delta, extractor_delta)
+        )
+        if max(accuracy_delta, extractor_delta) < cfg.convergence.tolerance:
+            break
+
+    return MultiLayerResult(
+        value_posteriors=state.posteriors,
+        extraction_posteriors=state.p_correct,
+        source_accuracy=state.accuracy,
+        extractor_quality=state.quality,
+        estimable_sources=state.estimable_sources,
+        estimable_extractors=state.estimable_extractors,
+        num_triples_total=observations.num_triples,
+        history=history,
+        priors=state._priors,
+    )
 
 
 class _FitState:

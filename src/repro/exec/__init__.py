@@ -1,0 +1,57 @@
+"""Sharded execution: pluggable parallel backends for the multi-layer EM.
+
+The paper fits 2.8B triples as a MapReduce dataflow (Table 7); this
+subsystem gives the reproduction the same decomposition as a first-class
+API instead of a simulation:
+
+* :class:`~repro.exec.plan.ShardPlan` partitions a compiled problem by
+  data item into self-contained shard packets;
+* :mod:`repro.exec.worker` runs the per-shard E steps (the map side of
+  the ExtCorr / TriplePr jobs);
+* :class:`~repro.exec.backends.ExecutionBackend` implementations
+  (``serial`` / ``threads`` / ``processes``) decide where the map rounds
+  execute;
+* :func:`~repro.exec.driver.fit_sharded` is the EM driver behind
+  ``MultiLayerConfig.backend``: map via the backend, reduce (SrcAccu /
+  ExtQuality — the shared parameter update of the numpy engine) in the
+  driver, bit-identical to unsharded execution for any shard count.
+
+Select it high-level via ``MultiLayerConfig(engine="numpy",
+backend="processes", num_shards=8)``, ``KBTEstimator(backend=...)`` or
+the CLI ``--backend/--shards`` flags; new backends register through
+:func:`repro.core.registry.register_backend`.
+"""
+
+from repro.exec.backends import (
+    ExecutionBackend,
+    ExecutionSession,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+)
+from repro.exec.driver import fit_sharded
+from repro.exec.plan import Shard, ShardPlan, StageStats
+from repro.exec.worker import (
+    FinalizeParams,
+    IterationParams,
+    ShardState,
+    finalize_shard,
+    run_shard_iteration,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "ExecutionSession",
+    "FinalizeParams",
+    "IterationParams",
+    "ProcessBackend",
+    "SerialBackend",
+    "Shard",
+    "ShardPlan",
+    "ShardState",
+    "StageStats",
+    "ThreadBackend",
+    "finalize_shard",
+    "fit_sharded",
+    "run_shard_iteration",
+]

@@ -1,0 +1,489 @@
+"""Execution backends: where the map rounds of a shard plan actually run.
+
+The :class:`ExecutionBackend` protocol is the pluggable seam of sharded
+execution: a backend opens an :class:`ExecutionSession` over a
+:class:`~repro.exec.plan.ShardPlan`, and the driver feeds it one
+:class:`~repro.exec.worker.IterationParams` per EM iteration. Built-ins
+(registered in :mod:`repro.core.registry`):
+
+* ``serial`` — shards run one after another in the driver process. The
+  correctness baseline and the right choice for small problems, where
+  parallel dispatch overhead would dominate.
+* ``threads`` — shards run on a thread pool. NumPy's ufuncs release the
+  GIL for large arrays, so this wins on big shards without any IPC.
+* ``processes`` — one persistent worker process per shard, with the
+  global ``p_correct`` / ``posterior`` / ``priors`` vectors and the
+  per-iteration parameter block living in POSIX shared memory
+  (:mod:`multiprocessing.shared_memory`); workers scatter their slices
+  into disjoint regions, so no result pickling happens on the hot path.
+  Sidesteps the GIL entirely — the backend for CPU-bound fits on
+  multi-core machines.
+
+Every backend produces bit-identical results (the reduce runs in the
+driver over globally re-assembled arrays; see :mod:`repro.exec.plan`).
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.config import AbsenceScope, MultiLayerConfig
+from repro.exec.plan import Shard, ShardPlan
+from repro.exec.worker import (
+    FinalizeParams,
+    IterationParams,
+    ShardState,
+    finalize_shard,
+    run_shard_iteration,
+)
+
+
+@runtime_checkable
+class ExecutionSession(Protocol):
+    """A live execution context over one shard plan (context manager)."""
+
+    def run_iteration(
+        self,
+        params: IterationParams,
+        out_p_correct: np.ndarray,
+        out_posterior: np.ndarray,
+    ) -> None:
+        """Run one map round; scatter every shard's slices into the outs."""
+        ...
+
+    def finalize(self, params: FinalizeParams) -> np.ndarray:
+        """Run the final prior pass; return the global priors vector."""
+        ...
+
+    def __enter__(self) -> "ExecutionSession": ...
+
+    def __exit__(self, *exc: object) -> None: ...
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """A factory of execution sessions; ``name`` matches the registry."""
+
+    name: str
+
+    def open(
+        self, plan: ShardPlan, cfg: MultiLayerConfig
+    ) -> ExecutionSession:
+        """Open a session over ``plan`` (enter it to start workers)."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# In-process backends (serial / threads)
+# ----------------------------------------------------------------------
+class _InProcessSession:
+    """Shared machinery: shard states live in the driver process."""
+
+    def __init__(self, plan: ShardPlan, cfg: MultiLayerConfig) -> None:
+        self._plan = plan
+        self._cfg = cfg
+        self._states = [
+            ShardState.initial(shard, cfg) for shard in plan.shards
+        ]
+
+    def __enter__(self) -> "_InProcessSession":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+    def _run_one(
+        self,
+        shard: Shard,
+        params: IterationParams,
+        out_p_correct: np.ndarray,
+        out_posterior: np.ndarray,
+    ) -> None:
+        p_correct, posterior = run_shard_iteration(
+            shard, self._cfg, self._states[shard.index], params
+        )
+        out_p_correct[shard.coord_idx] = p_correct
+        out_posterior[shard.triple_lo : shard.triple_hi] = posterior
+
+    def finalize(self, params: FinalizeParams) -> np.ndarray:
+        priors = np.empty(self._plan.num_coords)
+        for shard in self._plan.shards:
+            priors[shard.coord_idx] = finalize_shard(
+                shard, self._cfg, self._states[shard.index], params
+            )
+        return priors
+
+
+class _SerialSession(_InProcessSession):
+    def run_iteration(
+        self,
+        params: IterationParams,
+        out_p_correct: np.ndarray,
+        out_posterior: np.ndarray,
+    ) -> None:
+        for shard in self._plan.shards:
+            self._run_one(shard, params, out_p_correct, out_posterior)
+
+
+class _ThreadSession(_InProcessSession):
+    def __init__(self, plan: ShardPlan, cfg: MultiLayerConfig) -> None:
+        super().__init__(plan, cfg)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def __enter__(self) -> "_ThreadSession":
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, min(len(self._plan.shards), 32)),
+            thread_name_prefix="kbt-shard",
+        )
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def run_iteration(
+        self,
+        params: IterationParams,
+        out_p_correct: np.ndarray,
+        out_posterior: np.ndarray,
+    ) -> None:
+        assert self._pool is not None, "session not entered"
+        futures = [
+            self._pool.submit(
+                self._run_one, shard, params, out_p_correct, out_posterior
+            )
+            for shard in self._plan.shards
+        ]
+        for future in futures:
+            future.result()
+
+
+class SerialBackend:
+    """Run shards sequentially in the driver process."""
+
+    name = "serial"
+
+    def open(
+        self, plan: ShardPlan, cfg: MultiLayerConfig
+    ) -> _SerialSession:
+        return _SerialSession(plan, cfg)
+
+
+class ThreadBackend:
+    """Run shards on a thread pool (GIL-releasing NumPy kernels)."""
+
+    name = "threads"
+
+    def open(
+        self, plan: ShardPlan, cfg: MultiLayerConfig
+    ) -> _ThreadSession:
+        return _ThreadSession(plan, cfg)
+
+
+# ----------------------------------------------------------------------
+# Process backend: persistent workers over shared-memory numpy buffers
+# ----------------------------------------------------------------------
+_STOP = "stop"
+_ITER = "iter"
+_FINAL = "final"
+
+#: Worker liveness poll interval while waiting for round completions.
+_POLL_S = 1.0
+
+
+def _param_layout(plan: ShardPlan) -> tuple[dict[str, slice], int]:
+    """Offsets of the per-iteration parameter block in shared memory."""
+    layout: dict[str, slice] = {}
+    offset = 0
+    for name, size in (
+        ("accuracy", plan.num_sources),
+        ("base_absence", plan.num_sources),
+        ("source_vote", plan.num_sources),
+        ("pre_vote", plan.num_cols),
+        ("abs_vote", plan.num_cols),
+    ):
+        layout[name] = slice(offset, offset + size)
+        offset += size
+    return layout, offset
+
+
+def _shard_worker(
+    worker_index: int,
+    shards: tuple[Shard, ...],
+    cfg: MultiLayerConfig,
+    shm_names: dict[str, str],
+    dims: tuple[int, int, int],
+    layout: dict[str, slice],
+    task_queue,
+    done_queue,
+) -> None:
+    """Worker loop: attach the shared buffers, serve map rounds forever.
+
+    One worker owns one or more shards (shards are multiplexed over at
+    most :func:`_worker_cap` processes, so a fine-grained plan does not
+    translate into thousands of processes). The shard arrays and the
+    mutable :class:`ShardState` objects stay resident in this process;
+    per round only a tiny control message crosses the pipe, parameters
+    are read from (and results scattered into) shared memory.
+    """
+    from multiprocessing import shared_memory
+
+    num_coords, num_triples, param_len = dims
+    segments = {}
+    try:
+        for key, name in shm_names.items():
+            segments[key] = shared_memory.SharedMemory(name=name)
+        p_correct = np.ndarray(
+            (num_coords,), dtype=np.float64, buffer=segments["p"].buf
+        )
+        posterior = np.ndarray(
+            (num_triples,), dtype=np.float64, buffer=segments["post"].buf
+        )
+        priors_out = np.ndarray(
+            (num_coords,), dtype=np.float64, buffer=segments["priors"].buf
+        )
+        param_block = np.ndarray(
+            (param_len,), dtype=np.float64, buffer=segments["params"].buf
+        )
+        states = [ShardState.initial(shard, cfg) for shard in shards]
+        active = cfg.absence_scope is AbsenceScope.ACTIVE
+
+        while True:
+            message = task_queue.get()
+            kind = message[0]
+            if kind == _STOP:
+                break
+            try:
+                if kind == _ITER:
+                    _, do_prior, base_scalar = message
+                    params = IterationParams(
+                        do_prior_update=do_prior,
+                        prior_accuracy=(
+                            param_block[layout["accuracy"]]
+                            if do_prior
+                            else None
+                        ),
+                        pre_vote=param_block[layout["pre_vote"]],
+                        abs_vote=param_block[layout["abs_vote"]],
+                        base_absence=(
+                            param_block[layout["base_absence"]]
+                            if active
+                            else base_scalar
+                        ),
+                        source_vote=param_block[layout["source_vote"]],
+                    )
+                    for shard, state in zip(shards, states):
+                        p_s, post_s = run_shard_iteration(
+                            shard, cfg, state, params
+                        )
+                        p_correct[shard.coord_idx] = p_s
+                        posterior[
+                            shard.triple_lo : shard.triple_hi
+                        ] = post_s
+                elif kind == _FINAL:
+                    _, do_prior = message
+                    final = FinalizeParams(
+                        do_prior_update=do_prior,
+                        accuracy=(
+                            param_block[layout["accuracy"]]
+                            if do_prior
+                            else None
+                        ),
+                    )
+                    for shard, state in zip(shards, states):
+                        priors_out[shard.coord_idx] = finalize_shard(
+                            shard, cfg, state, final
+                        )
+                done_queue.put((worker_index, None))
+            except Exception:  # pragma: no cover - exercised via errors
+                done_queue.put((worker_index, traceback.format_exc()))
+    finally:
+        for segment in segments.values():
+            segment.close()
+
+
+def _worker_cap() -> int:
+    """Processes to spawn at most: beyond the core count (plus headroom
+    for uneven shards) extra workers only cost memory and descriptors."""
+    import os
+
+    return max(1, min(2 * (os.cpu_count() or 1), 32))
+
+
+class _ProcessSession:
+    """One persistent worker process per shard + shared-memory buffers."""
+
+    def __init__(self, plan: ShardPlan, cfg: MultiLayerConfig) -> None:
+        self._plan = plan
+        self._cfg = cfg
+        self._layout, self._param_len = _param_layout(plan)
+        self._workers: list = []
+        self._task_queues: list = []
+        self._segments: dict = {}
+        self._views: dict[str, np.ndarray] = {}
+
+    def __enter__(self) -> "_ProcessSession":
+        import multiprocessing as mp
+        from multiprocessing import shared_memory
+
+        # fork shares the (read-only) shard arrays copy-on-write with the
+        # workers; where unavailable (Windows, macOS default) spawn ships
+        # them once at startup.
+        method = (
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        ctx = mp.get_context(method)
+        plan = self._plan
+        sizes = {
+            "p": plan.num_coords,
+            "post": plan.num_triples,
+            "priors": plan.num_coords,
+            "params": self._param_len,
+        }
+        try:
+            for key, length in sizes.items():
+                self._segments[key] = shared_memory.SharedMemory(
+                    create=True, size=max(1, length * 8)
+                )
+                self._views[key] = np.ndarray(
+                    (length,),
+                    dtype=np.float64,
+                    buffer=self._segments[key].buf,
+                )
+            shm_names = {
+                key: segment.name
+                for key, segment in self._segments.items()
+            }
+            dims = (plan.num_coords, plan.num_triples, self._param_len)
+            self._done_queue = ctx.Queue()
+            num_workers = min(len(plan.shards), _worker_cap())
+            groups: list[list[Shard]] = [[] for _ in range(num_workers)]
+            for position, shard in enumerate(plan.shards):
+                groups[position % num_workers].append(shard)
+            for worker_index, group in enumerate(groups):
+                task_queue = ctx.SimpleQueue()
+                worker = ctx.Process(
+                    target=_shard_worker,
+                    args=(
+                        worker_index,
+                        tuple(group),
+                        self._cfg,
+                        shm_names,
+                        dims,
+                        self._layout,
+                        task_queue,
+                        self._done_queue,
+                    ),
+                    daemon=True,
+                )
+                worker.start()
+                self._workers.append(worker)
+                self._task_queues.append(task_queue)
+        except BaseException:
+            # A partially-built session never reaches __exit__ via the
+            # with-statement: release segments (ENOSPC on /dev/shm is the
+            # realistic trigger) and stop any already-started workers.
+            self.__exit__(None, None, None)
+            raise
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        for queue in self._task_queues:
+            try:
+                queue.put((_STOP,))
+            except (OSError, ValueError):  # worker already gone
+                pass
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+            if worker.is_alive():  # pragma: no cover - defensive
+                worker.terminate()
+                worker.join(timeout=5.0)
+        self._workers.clear()
+        for segment in self._segments.values():
+            segment.close()
+            segment.unlink()
+        self._segments.clear()
+        self._views.clear()
+
+    def _broadcast_params(self, params: IterationParams) -> float | None:
+        """Write the parameter block; return the ALL-scope scalar."""
+        block = self._views["params"]
+        layout = self._layout
+        if params.prior_accuracy is not None:
+            block[layout["accuracy"]] = params.prior_accuracy
+        block[layout["source_vote"]] = params.source_vote
+        block[layout["pre_vote"]] = params.pre_vote
+        block[layout["abs_vote"]] = params.abs_vote
+        if isinstance(params.base_absence, np.ndarray):
+            block[layout["base_absence"]] = params.base_absence
+            return None
+        return float(params.base_absence)
+
+    def _await_round(self) -> None:
+        """Collect one completion per worker, watching worker liveness."""
+        from queue import Empty
+
+        pending = len(self._workers)
+        while pending:
+            try:
+                _index, error = self._done_queue.get(timeout=_POLL_S)
+            except Empty:
+                dead = [
+                    worker.pid
+                    for worker in self._workers
+                    if not worker.is_alive()
+                ]
+                if dead:  # pragma: no cover - hard crash path
+                    raise RuntimeError(
+                        f"shard worker(s) {dead} died mid-round"
+                    ) from None
+                continue
+            if error is not None:
+                raise RuntimeError(f"shard worker failed:\n{error}")
+            pending -= 1
+
+    def run_iteration(
+        self,
+        params: IterationParams,
+        out_p_correct: np.ndarray,
+        out_posterior: np.ndarray,
+    ) -> None:
+        base_scalar = self._broadcast_params(params)
+        for queue in self._task_queues:
+            queue.put((_ITER, params.do_prior_update, base_scalar))
+        self._await_round()
+        out_p_correct[:] = self._views["p"]
+        out_posterior[:] = self._views["post"]
+
+    def finalize(self, params: FinalizeParams) -> np.ndarray:
+        if params.accuracy is not None:
+            self._views["params"][self._layout["accuracy"]] = params.accuracy
+        for queue in self._task_queues:
+            queue.put((_FINAL, params.do_prior_update))
+        self._await_round()
+        return self._views["priors"].copy()
+
+
+class ProcessBackend:
+    """Worker processes over shared-memory numpy buffers (no GIL)."""
+
+    name = "processes"
+
+    def open(
+        self, plan: ShardPlan, cfg: MultiLayerConfig
+    ) -> _ProcessSession:
+        return _ProcessSession(plan, cfg)
+
+
+__all__ = [
+    "ExecutionBackend",
+    "ExecutionSession",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+]

@@ -1,0 +1,145 @@
+"""The sharded EM driver: map rounds via a backend, reduce in-process.
+
+``fit_sharded`` is the execution path behind ``MultiLayerConfig.backend``.
+It mirrors :func:`repro.core.engine_numpy.fit_numpy` exactly, but the E
+steps of each iteration run as one *map* round over the
+:class:`~repro.exec.plan.ShardPlan` (dispatched through the selected
+:class:`~repro.exec.backends.ExecutionBackend`), and the parameter update
+(theta_1 / theta_2) runs as the *reduce* over the globally re-assembled
+``p_correct`` / ``posterior`` arrays — the same
+:func:`~repro.core.engine_numpy.update_parameters` code, in the same
+array order, so the fitted model is bit-identical to the unsharded numpy
+engine for every shard count and backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import registry
+from repro.core.config import MultiLayerConfig
+from repro.core.engine_numpy import (
+    assemble_result,
+    init_params,
+    iteration_inputs,
+    update_parameters,
+)
+from repro.core.indexing import CompiledProblem, compile_problem
+from repro.core.observation import ObservationMatrix
+from repro.core.quality import ExtractorQuality
+from repro.core.results import IterationSnapshot, MultiLayerResult
+from repro.core.types import ExtractorKey, SourceKey
+from repro.exec.plan import ShardPlan, resolve_num_shards
+from repro.exec.worker import FinalizeParams, IterationParams
+
+
+def fit_sharded(
+    cfg: MultiLayerConfig,
+    observations: ObservationMatrix,
+    initial_source_accuracy: dict[SourceKey, float] | None = None,
+    initial_extractor_quality: dict[ExtractorKey, ExtractorQuality]
+    | None = None,
+    frozen_extractors: set[ExtractorKey] | None = None,
+    frozen_sources: set[SourceKey] | None = None,
+    problem: CompiledProblem | None = None,
+    plan: ShardPlan | None = None,
+) -> MultiLayerResult:
+    """Run Algorithm 1 over a shard plan; same contract as ``fit``.
+
+    ``problem`` / ``plan`` let callers that already compiled the problem
+    (e.g. the MapReduce cost-model runner) reuse their arrays instead of
+    re-compiling.
+    """
+    if cfg.backend is None:
+        raise ValueError("fit_sharded needs cfg.backend to be set")
+    prob = problem if problem is not None else compile_problem(
+        observations, cfg
+    )
+    if plan is None:
+        plan = ShardPlan.from_problem(
+            prob, cfg, resolve_num_shards(cfg, prob)
+        )
+
+    params = init_params(
+        cfg,
+        prob,
+        initial_source_accuracy,
+        initial_extractor_quality,
+        frozen_extractors,
+        frozen_sources,
+    )
+
+    backend_cls = registry.resolve_backend(cfg.backend)
+    history: list[IterationSnapshot] = []
+    p_correct = np.zeros(plan.num_coords)
+    posterior = np.zeros(plan.num_triples)
+    priors: np.ndarray | None = None
+
+    with backend_cls().open(plan, cfg) as session:
+        last_iteration = 0
+        for iteration in range(1, cfg.convergence.max_iterations + 1):
+            last_iteration = iteration
+            pre_vote, abs_vote, base_absence, source_vote = iteration_inputs(
+                cfg, prob, params
+            )
+            # The Eq. 26 prior update of iteration t runs lazily at the
+            # start of map round t+1 (same inputs: the accuracy the
+            # reduce of round t produced, plus each shard's retained
+            # posterior/residual), so one round trip per iteration
+            # suffices.
+            it_params = IterationParams(
+                do_prior_update=_prior_update_due(cfg, iteration - 1),
+                prior_accuracy=(
+                    params.accuracy
+                    if _prior_update_due(cfg, iteration - 1)
+                    else None
+                ),
+                pre_vote=pre_vote,
+                abs_vote=abs_vote,
+                base_absence=base_absence,
+                source_vote=source_vote,
+            )
+            session.run_iteration(it_params, p_correct, posterior)
+
+            accuracy_delta, extractor_delta = update_parameters(
+                cfg, prob, params, p_correct, posterior
+            )
+            history.append(
+                IterationSnapshot(iteration, accuracy_delta, extractor_delta)
+            )
+            if (
+                max(accuracy_delta, extractor_delta)
+                < cfg.convergence.tolerance
+            ):
+                break
+
+        do_final = _prior_update_due(cfg, last_iteration)
+        final = session.finalize(
+            FinalizeParams(
+                do_prior_update=do_final,
+                accuracy=params.accuracy if do_final else None,
+            )
+        )
+        if _any_prior_update_ran(cfg, last_iteration):
+            priors = final
+
+    return assemble_result(
+        prob, observations, p_correct, posterior, params, priors, history
+    )
+
+
+def _prior_update_due(cfg: MultiLayerConfig, iteration: int) -> bool:
+    """Was the engine's end-of-iteration Eq. 26 pass due after
+    ``iteration``? (0 = before the first iteration: never.)"""
+    return (
+        cfg.update_prior
+        and iteration >= 1
+        and iteration + 1 >= cfg.prior_update_start_iteration
+    )
+
+
+def _any_prior_update_ran(cfg: MultiLayerConfig, last_iteration: int) -> bool:
+    """Whether the fit re-estimated priors at least once (the engine's
+    ``priors_updated`` flag): true iff the last iteration's pass was due,
+    since the due-condition is monotone in the iteration number."""
+    return _prior_update_due(cfg, last_iteration)

@@ -1,0 +1,180 @@
+"""The map side of sharded execution: per-shard E steps + prior state.
+
+One :class:`ShardState` lives with each shard for the whole fit (in the
+driver process for the serial/thread backends, inside the worker process
+for the process backend). Each map round runs, for one shard:
+
+1. the **deferred prior re-estimation** (Eq. 26) for the *previous*
+   iteration, using the posterior/residual kept from that round and the
+   accuracy the reduce just produced — equivalent to the unsharded
+   engine's end-of-iteration update, just executed lazily at the start of
+   the next map so one round trip per iteration suffices;
+2. the **C step** (ExtCorr): per-coordinate vote counts + sigmoid;
+3. the **V step** (TriplePr): per-item segmented softmax.
+
+The per-source / per-column sufficient statistics (SrcAccu, ExtQuality)
+are *not* summed here: the driver re-assembles ``p_correct`` and
+``posterior`` globally and reduces them in the engine's original array
+order, which is what makes sharded runs bit-identical to the unsharded
+numpy engine (see :mod:`repro.exec.plan`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import AbsenceScope, MultiLayerConfig
+from repro.core.engine_numpy import _log_odds, _sigmoid
+from repro.exec.plan import Shard
+
+
+@dataclass
+class IterationParams:
+    """Everything a shard needs for one map round, computed by the driver.
+
+    ``base_absence`` is per-source under the ACTIVE absence scope and a
+    scalar under ALL; ``source_vote`` is each source's V-step vote weight
+    (``log n + log-odds(A_w)`` under ACCU, ``log-odds(A_w)`` under
+    POPACCU). ``prior_accuracy`` is only read when ``do_prior_update`` is
+    set (the deferred Eq. 26 pass for the previous iteration).
+    """
+
+    do_prior_update: bool
+    prior_accuracy: np.ndarray | None
+    pre_vote: np.ndarray
+    abs_vote: np.ndarray
+    base_absence: np.ndarray | float
+    source_vote: np.ndarray
+
+
+@dataclass
+class FinalizeParams:
+    """The end-of-fit prior pass (the engine's last Eq. 26 update)."""
+
+    do_prior_update: bool
+    accuracy: np.ndarray | None
+
+
+@dataclass
+class ShardState:
+    """Mutable per-shard state carried across iterations."""
+
+    priors: np.ndarray
+    posterior: np.ndarray
+    residual: np.ndarray
+
+    @classmethod
+    def initial(cls, shard: Shard, cfg: MultiLayerConfig) -> "ShardState":
+        return cls(
+            priors=np.full(shard.num_coords, cfg.alpha),
+            posterior=np.zeros(shard.num_triples),
+            residual=np.zeros(shard.num_items),
+        )
+
+
+def run_shard_iteration(
+    shard: Shard,
+    cfg: MultiLayerConfig,
+    state: ShardState,
+    params: IterationParams,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One map round: (deferred prior update,) C step, V step.
+
+    Returns this shard's ``(p_correct, posterior)`` slices; ``state`` is
+    updated in place (priors, posterior, residual for the next round).
+    """
+    if params.do_prior_update:
+        assert params.prior_accuracy is not None
+        _update_shard_priors(shard, cfg, state, params.prior_accuracy)
+
+    # --- C step (Section 3.3.1) ---------------------------------------
+    if cfg.absence_scope is AbsenceScope.ACTIVE:
+        base = params.base_absence[shard.coord_source]
+    else:
+        base = params.base_absence
+    vcc = base + np.bincount(
+        shard.entry_coord,
+        weights=shard.entry_conf
+        * (params.pre_vote - params.abs_vote)[shard.entry_col],
+        minlength=shard.num_coords,
+    )
+    p_correct = _sigmoid(vcc + _log_odds(state.priors))
+
+    # --- V step (Sections 3.3.2-3.3.3) --------------------------------
+    claim_p = p_correct[shard.claim_coord]
+    if cfg.use_weighted_vcv:
+        claim_weight = claim_p
+    else:
+        claim_weight = np.where(claim_p >= 0.5, 1.0, 0.0)
+    if shard.claim_log_pop is None:
+        contrib = claim_weight * params.source_vote[shard.claim_source]
+    else:
+        contrib = claim_weight * (
+            params.source_vote[shard.claim_source] - shard.claim_log_pop
+        )
+    votes = np.bincount(
+        shard.claim_triple, weights=contrib, minlength=shard.num_triples
+    )
+    if shard.num_items:
+        starts = shard.item_ptr[:-1]
+        shift = np.maximum(np.maximum.reduceat(votes, starts), 0.0)
+        exp_votes = np.exp(votes - shift[shard.triple_item])
+        z = np.add.reduceat(exp_votes, starts) + shard.num_unobserved * np.exp(
+            -shift
+        )
+        posterior = exp_votes / z[shard.triple_item]
+        posterior_mass = np.add.reduceat(posterior, starts)
+        residual = np.where(
+            shard.num_unobserved > 0.0,
+            np.maximum(1.0 - posterior_mass, 0.0)
+            / np.maximum(shard.num_unobserved, 1.0),
+            0.0,
+        )
+    else:
+        posterior = np.zeros(0)
+        residual = np.zeros(0)
+
+    state.posterior = posterior
+    state.residual = residual
+    return p_correct, posterior
+
+
+def finalize_shard(
+    shard: Shard,
+    cfg: MultiLayerConfig,
+    state: ShardState,
+    params: FinalizeParams,
+) -> np.ndarray:
+    """Run the engine's final Eq. 26 pass (if due) and return the priors."""
+    if params.do_prior_update:
+        assert params.accuracy is not None
+        _update_shard_priors(shard, cfg, state, params.accuracy)
+    return state.priors
+
+
+def _update_shard_priors(
+    shard: Shard,
+    cfg: MultiLayerConfig,
+    state: ShardState,
+    accuracy: np.ndarray,
+) -> None:
+    """Eq. 26 over this shard's coordinates (all inputs are shard-local:
+    a coordinate's triple and item always live in the coordinate's own
+    shard, so the value posterior / residual lookups never cross shards).
+    """
+    p_true = np.zeros(shard.num_coords)
+    has_triple = shard.coord_triple >= 0
+    if state.posterior.size:
+        p_true[has_triple] = state.posterior[shard.coord_triple[has_triple]]
+    has_item = ~has_triple & (shard.coord_item >= 0)
+    if state.residual.size:
+        p_true[has_item] = state.residual[shard.coord_item[has_item]]
+    source_accuracy = accuracy[shard.coord_source]
+    state.priors = np.clip(
+        p_true * source_accuracy
+        + (1.0 - p_true) * (1.0 - source_accuracy),
+        cfg.prior_floor,
+        cfg.prior_ceiling,
+    )

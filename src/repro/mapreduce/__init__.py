@@ -7,12 +7,13 @@ We reproduce this with
 
 * :mod:`repro.mapreduce.flume` — a local pipeline (parallel-do /
   group-by-key / combine) that records per-stage record counts and reduce
-  group sizes;
+  group sizes, kept as a reference substrate for dataflow experiments;
 * :mod:`repro.mapreduce.cluster` — a cluster cost model computing each
   stage's makespan over ``num_workers`` with an LPT schedule;
-* :mod:`repro.mapreduce.mr_multilayer` — the multi-layer EM iteration
-  expressed as the four MR stages of Table 7 (ExtCorr, TriplePr, SrcAccu,
-  ExtQuality), numerically equivalent to the in-memory model.
+* :mod:`repro.mapreduce.mr_multilayer` — the multi-layer EM iteration as
+  the four MR stages of Table 7 (ExtCorr, TriplePr, SrcAccu, ExtQuality):
+  executed through the sharded execution API (:mod:`repro.exec`), with
+  the shard plan's per-job statistics feeding the cost model.
 """
 
 from repro.mapreduce.cluster import ClusterCostModel, lpt_makespan

@@ -1,6 +1,6 @@
 """The multi-layer EM iteration as a Map-Reduce dataflow (Table 7).
 
-Each iteration runs the four jobs the paper times:
+Each iteration consists of the four jobs the paper times:
 
 * **I. ExtCorr** — records keyed by (w, d, v); the reduce computes
   ``p(C_wdv | X)`` from the group's extractor votes;
@@ -10,11 +10,15 @@ Each iteration runs the four jobs the paper times:
 * **IV. ExtQuality** — extractions keyed by extractor; the reduce computes
   ``(P_e, R_e, Q_e)``.
 
-The dataflow is numerically equivalent to :class:`MultiLayerModel` (tested
-to agree to ~1e-9) while every stage's record counts and reduce group sizes
-are captured, so a :class:`ClusterCostModel` can convert a run into
-simulated per-stage wall-clock — the quantity Table 7 reports. The straggler
-effect the paper observes falls out naturally: without splitting, one mega
+Since the sharded execution API (:mod:`repro.exec`) landed, this runner no
+longer maintains a private dict-based pipeline: the inference itself runs
+through :func:`repro.exec.driver.fit_sharded` over a
+:class:`~repro.exec.plan.ShardPlan` (numerically identical to
+:class:`MultiLayerModel` — the sharded driver is bit-identical to the
+numpy engine), and the *same plan's* per-job record counts and reduce
+group sizes feed the :class:`ClusterCostModel`, which converts them into
+the simulated per-stage wall clock Table 7 reports. The straggler effect
+the paper observes falls out naturally: without splitting, one mega
 extractor's reduce group dominates stage IV.
 
 Supported configuration: the ACCU false-value model with any combination of
@@ -25,18 +29,15 @@ where the reported multi-layer variant is ACCU).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from repro.core.config import AbsenceScope, FalseValueModel, MultiLayerConfig
-from repro.core.multi_layer import default_precision
+from repro.core.config import FalseValueModel, MultiLayerConfig
+from repro.core.indexing import compile_problem
 from repro.core.observation import ObservationMatrix
-from repro.core.quality import ExtractorQuality, derive_q
-from repro.core.results import Coord, MultiLayerResult
-from repro.core.types import ExtractorKey, SourceKey
-from repro.core.votes import VoteTable, extraction_posterior, value_posteriors
+from repro.core.results import MultiLayerResult
+from repro.exec.driver import fit_sharded
+from repro.exec.plan import ShardPlan, resolve_num_shards
 from repro.mapreduce.cluster import ClusterCostModel
-from repro.mapreduce.flume import LocalPipeline
-from repro.util.logmath import clamp, log_odds, safe_log
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,11 +56,16 @@ class IterationTiming:
 
 @dataclass
 class MRRunReport:
-    """Result + timing of an MR multi-layer run."""
+    """Result + timing of an MR multi-layer run.
+
+    ``plan`` is the shard plan the run executed over; its
+    ``stage_stats`` carry the per-job record counts and reduce group
+    sizes the timings were derived from.
+    """
 
     result: MultiLayerResult
     iteration_timings: list[IterationTiming]
-    pipeline: LocalPipeline
+    plan: ShardPlan
 
     def average_iteration(self) -> IterationTiming:
         n = len(self.iteration_timings)
@@ -95,290 +101,34 @@ class MRMultiLayerRunner:
     def run(self, observations: ObservationMatrix) -> MRRunReport:
         """Execute the EM loop as MR jobs; returns result + stage timings."""
         cfg = self._config
-        pipeline = LocalPipeline()
-
-        # ---- static structure (what a real job would read from disk) ----
-        extractor_sizes = observations.extractor_sizes()
-        source_sizes = observations.source_sizes()
-        estimable_extractors = {
-            e for e, s in extractor_sizes.items()
-            if s >= cfg.min_extractor_support
-        }
-        estimable_sources = {
-            w for w, s in source_sizes.items()
-            if s >= cfg.min_source_support
-        }
-        scored: dict[Coord, dict[ExtractorKey, float]] = {}
-        for coord, cell in observations.cells():
-            kept = {}
-            for extractor, confidence in cell.items():
-                if extractor not in estimable_extractors:
-                    continue
-                if cfg.confidence_threshold is not None:
-                    if confidence > cfg.confidence_threshold:
-                        kept[extractor] = 1.0
-                else:
-                    kept[extractor] = confidence
-            if kept:
-                scored[coord] = kept
-        # The record-level input of stage I: one record per (coord, e).
-        records = [
-            (coord, (extractor, confidence))
-            for coord, cell in scored.items()
-            for extractor, confidence in cell.items()
-        ]
-
-        # ---- parameters -------------------------------------------------
-        accuracy = {
-            w: cfg.default_accuracy for w in observations.sources()
-        }
-        base_quality = ExtractorQuality(
-            precision=default_precision(
-                cfg.default_recall, cfg.default_q, cfg.gamma
-            ),
-            recall=cfg.default_recall,
-            q=cfg.default_q,
+        if cfg.backend is None:
+            # Sharded execution *is* the MR decomposition; default to the
+            # in-process serial backend when the caller did not pick one.
+            cfg = replace(cfg, engine="numpy", backend="serial")
+        prob = compile_problem(observations, cfg)
+        plan = ShardPlan.from_problem(
+            prob, cfg, resolve_num_shards(cfg, prob)
         )
-        quality = {e: base_quality for e in observations.extractors()}
-        priors: dict[Coord, float] = {}
+        result = fit_sharded(cfg, observations, problem=prob, plan=plan)
 
-        timings: list[IterationTiming] = []
-        p_correct: dict[Coord, float] = {}
-        posteriors: dict = {}
-        residual: dict = {}
-
-        for iteration in range(1, cfg.convergence.max_iterations + 1):
-            table = VoteTable(
-                {e: quality[e] for e in estimable_extractors}
-            )
-            active_absence: dict[SourceKey, float] = {}
-            if cfg.absence_scope is AbsenceScope.ACTIVE:
-                for source in {c[0] for c in scored}:
-                    active = observations.active_extractors(source)
-                    active_absence[source] = table.absence_total_for(active)
-
-            # ---- Stage I: ExtCorr --------------------------------------
-            def ext_corr(coord: Coord, values: list) -> float:
-                extractions = dict(values)
-                if cfg.absence_scope is AbsenceScope.ACTIVE:
-                    absence = active_absence[coord[0]]
-                else:
-                    absence = table.total_absence
-                vcc = table.vote_count(extractions, absence)
-                prior = priors.get(coord, cfg.alpha)
-                return extraction_posterior(vcc, prior)
-
-            stage1 = (
-                pipeline.read(records, name=f"it{iteration}.I.read")
-                .group_by_key(name=f"it{iteration}.I.group")
-                .combine_values(ext_corr, name=f"it{iteration}.I.reduce")
-            )
-            p_correct = stage1.as_dict()
-            timings_i = self._stage_time(
-                len(records),
-                pipeline.stats_for(f"it{iteration}.I.reduce")[-1].group_sizes,
-            )
-
-            def c_weight(coord: Coord) -> float:
-                p = p_correct[coord]
-                if cfg.use_weighted_vcv:
-                    return p
-                return 1.0 if p >= 0.5 else 0.0
-
-            # ---- Stage II: TriplePr ------------------------------------
-            log_n = safe_log(float(cfg.n))
-
-            def to_item(pair):
-                coord, p = pair
-                source, item, value = coord
-                if source not in estimable_sources:
-                    return []
-                return [((item), (source, value, coord))]
-
-            def triple_pr(item, claims):
-                votes: dict = {}
-                for source, value, coord in claims:
-                    weight = c_weight(coord)
-                    vote = votes.get(value, 0.0)
-                    if weight > 0.0:
-                        vote += weight * (log_n + log_odds(accuracy[source]))
-                    votes[value] = vote
-                posterior = value_posteriors(votes, cfg.n + 1)
-                num_unobserved = max(cfg.n + 1 - len(votes), 0)
-                if num_unobserved > 0:
-                    leftover = max(1.0 - sum(posterior.values()), 0.0)
-                    res = leftover / num_unobserved
-                else:
-                    res = 0.0
-                return (posterior, res)
-
-            stage2 = (
-                stage1.parallel_do(to_item, name=f"it{iteration}.II.map")
-                .group_by_key(name=f"it{iteration}.II.group")
-                .combine_values(triple_pr, name=f"it{iteration}.II.reduce")
-            )
-            item_out = stage2.as_dict()
-            posteriors = {item: out[0] for item, out in item_out.items()}
-            residual = {item: out[1] for item, out in item_out.items()}
-            timings_ii = self._stage_time(
-                len(stage1),
-                pipeline.stats_for(f"it{iteration}.II.reduce")[-1].group_sizes,
-            )
-
-            def value_probability(item, value) -> float:
-                values = posteriors.get(item)
-                if values is not None and value in values:
-                    return values[value]
-                return residual.get(item, 0.0)
-
-            # ---- Stage III: SrcAccu ------------------------------------
-            def to_source(pair):
-                coord, _p = pair
-                return [(coord[0], coord)]
-
-            def src_accu(source, coords):
-                # Eq. 27/28 sum over {dv : Chat_wdv = 1} only, mirroring
-                # MultiLayerModel.update_source_accuracy.
-                if source not in estimable_sources:
-                    return accuracy[source]
-                numer = 0.0
-                denom = 0.0
-                for coord in coords:
-                    p = p_correct[coord]
-                    if p < 0.5:
-                        continue
-                    weight = p if cfg.use_weighted_vcv else 1.0
-                    numer += weight * value_probability(coord[1], coord[2])
-                    denom += weight
-                if denom <= 0.0:
-                    return accuracy[source]
-                return clamp(
-                    numer / denom, cfg.quality_floor, cfg.quality_ceiling
-                )
-
-            stage3 = (
-                stage1.parallel_do(to_source, name=f"it{iteration}.III.map")
-                .group_by_key(name=f"it{iteration}.III.group")
-                .combine_values(src_accu, name=f"it{iteration}.III.reduce")
-            )
-            accuracy.update(stage3.as_dict())
-            timings_iii = self._stage_time(
-                len(stage1),
-                pipeline.stats_for(
-                    f"it{iteration}.III.reduce"
-                )[-1].group_sizes,
-            )
-
-            # ---- Stage IV: ExtQuality ----------------------------------
-            total_p_correct = sum(p_correct.values())
-            p_correct_by_source: dict[SourceKey, float] = {}
-            for coord, p in p_correct.items():
-                p_correct_by_source[coord[0]] = (
-                    p_correct_by_source.get(coord[0], 0.0) + p
-                )
-            active_denominator: dict[ExtractorKey, float] = {}
-            if cfg.absence_scope is AbsenceScope.ACTIVE:
-                for source, p_sum in p_correct_by_source.items():
-                    for extractor in observations.active_extractors(source):
-                        if extractor in estimable_extractors:
-                            active_denominator[extractor] = (
-                                active_denominator.get(extractor, 0.0) + p_sum
-                            )
-
-            def to_extractor(record):
-                coord, (extractor, confidence) = record
-                return [(extractor, (confidence, p_correct[coord]))]
-
-            def ext_quality(extractor, pairs):
-                numer = sum(conf * p for conf, p in pairs)
-                conf_total = sum(conf for conf, _p in pairs)
-                if conf_total <= 0.0:
-                    return quality[extractor]
-                # P is floored at gamma, mirroring MultiLayerModel: below
-                # the base rate the extractor would become an anti-extractor
-                # (Q > R) and flip every vote's sign.
-                precision = clamp(
-                    numer / conf_total,
-                    max(cfg.quality_floor, cfg.gamma),
-                    cfg.quality_ceiling,
-                )
-                if cfg.absence_scope is AbsenceScope.ACTIVE:
-                    recall_denom = active_denominator.get(extractor, 0.0)
-                else:
-                    recall_denom = total_p_correct
-                if recall_denom <= 0.0:
-                    return quality[extractor]
-                recall = clamp(
-                    numer / recall_denom,
-                    cfg.quality_floor,
-                    cfg.quality_ceiling,
-                )
-                if cfg.quality_damping < 1.0:
-                    old = quality[extractor]
-                    damping = cfg.quality_damping
-                    precision = (1.0 - damping) * old.precision + (
-                        damping * precision
-                    )
-                    recall = (1.0 - damping) * old.recall + damping * recall
-                q = derive_q(
-                    precision, recall, cfg.gamma,
-                    floor=cfg.quality_floor, ceiling=cfg.quality_ceiling,
-                )
-                return ExtractorQuality(
-                    precision=precision, recall=recall, q=q
-                )
-
-            stage4 = (
-                pipeline.read(records, name=f"it{iteration}.IV.read")
-                .parallel_do(to_extractor, name=f"it{iteration}.IV.map")
-                .group_by_key(name=f"it{iteration}.IV.group")
-                .combine_values(ext_quality, name=f"it{iteration}.IV.reduce")
-            )
-            quality.update(stage4.as_dict())
-            timings_iv = self._stage_time(
-                len(records),
-                pipeline.stats_for(f"it{iteration}.IV.reduce")[-1].group_sizes,
-            )
-
-            # ---- prior re-estimation (map-only; negligible cost) -------
-            if cfg.update_prior and (
-                iteration + 1 >= cfg.prior_update_start_iteration
-            ):
-                for coord in scored:
-                    source, item, value = coord
-                    p_true = value_probability(item, value)
-                    a = accuracy[source]
-                    priors[coord] = clamp(
-                        p_true * a + (1.0 - p_true) * (1.0 - a),
-                        cfg.prior_floor,
-                        cfg.prior_ceiling,
-                    )
-
-            timings.append(
-                IterationTiming(
-                    ext_corr=timings_i,
-                    triple_pr=timings_ii,
-                    src_accu=timings_iii,
-                    ext_quality=timings_iv,
-                )
-            )
-
-        result = MultiLayerResult(
-            value_posteriors=posteriors,
-            extraction_posteriors=p_correct,
-            source_accuracy=accuracy,
-            extractor_quality=quality,
-            estimable_sources=estimable_sources,
-            estimable_extractors=estimable_extractors,
-            num_triples_total=observations.num_triples,
-            history=[],
+        # The job structure (record counts, reduce group sizes) is fixed
+        # by the corpus, not by the parameters, so every iteration costs
+        # the same simulated wall clock.
+        stats = plan.stage_stats
+        per_iteration = IterationTiming(
+            ext_corr=self._stage_time("ext_corr", stats),
+            triple_pr=self._stage_time("triple_pr", stats),
+            src_accu=self._stage_time("src_accu", stats),
+            ext_quality=self._stage_time("ext_quality", stats),
         )
+        timings = [per_iteration] * result.iterations_run
         return MRRunReport(
-            result=result, iteration_timings=timings, pipeline=pipeline
+            result=result, iteration_timings=timings, plan=plan
         )
 
-    def _stage_time(self, num_mapped: int, group_sizes) -> float:
-        return self._cost.stage_time(num_mapped, group_sizes)
+    def _stage_time(self, job: str, stats: dict) -> float:
+        stage = stats[job]
+        return self._cost.stage_time(stage.num_mapped, stage.group_sizes)
 
 
 def preparation_time(

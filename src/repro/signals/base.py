@@ -93,8 +93,12 @@ class CorpusContext:
             co-claim proxy graph from the observations.
         gold_labels: website -> "is this site accurate" gold labels (for
             calibrated fusion weights; see :mod:`repro.signals.fusion`).
-        config / granularity / min_triples / seed / engine: the KBT
-            pipeline knobs used by :meth:`fitted_kbt`.
+        config / granularity / min_triples / seed / engine / backend /
+            num_shards: the KBT pipeline knobs used by
+            :meth:`fitted_kbt` — ``backend``/``num_shards`` select
+            sharded execution for the shared fit (results are
+            backend-invariant, so providers see the same scores either
+            way).
         fitted: a pre-computed KBT fit to share (e.g. the one ``kbt fit``
             just produced); when omitted the first provider that needs it
             triggers one shared fit.
@@ -108,6 +112,8 @@ class CorpusContext:
     min_triples: float = 5.0
     seed: int = 0
     engine: str | None = None
+    backend: str | None = None
+    num_shards: int | None = None
     fitted: "FittedKBT | None" = None
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -134,6 +140,8 @@ class CorpusContext:
                     min_triples=self.min_triples,
                     seed=self.seed,
                     engine=self.engine,
+                    backend=self.backend,
+                    num_shards=self.num_shards,
                 ).fit(self.observations)
             return self.fitted
 

@@ -168,7 +168,12 @@ class TestCli:
         path = tmp_path / "records.jsonl"
         write_records(sample_records(), path)
         main(["estimate", str(path), "--min-triples", "0"])
-        assert "deprecated" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "'kbt estimate' is deprecated" in err
+        # The warning names the exact replacement invocation for the
+        # records file that was just passed.
+        assert f"run 'kbt fit {path}' instead" in err
+        assert "--artifact" in err
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -247,6 +252,39 @@ class TestLifecycleCli:
             capsys, ["query", str(out), "--site", "fresh.example"]
         )
         assert payload["key"] == "fresh.example"
+
+    def test_fit_with_backend_matches_plain_fit(self, artifact, capsys):
+        """--backend/--shards change execution, never the scores."""
+        root, demo, path = artifact
+        sharded = root / "sharded.kbt"
+        assert main([
+            "fit", str(demo), "--artifact", str(sharded),
+            "--backend", "processes", "--shards", "3",
+        ]) == 0
+        capsys.readouterr()
+        plain = self.query_json(
+            capsys, ["query", str(path), "--top", "5"]
+        )
+        via_backend = self.query_json(
+            capsys, ["query", str(sharded), "--top", "5"]
+        )
+        assert via_backend == plain
+
+    def test_update_with_backend_flag(self, artifact, capsys):
+        root, demo, path = artifact
+        out = root / "updated_sharded.kbt"
+        assert main([
+            "update", str(path), str(demo), "--artifact-out", str(out),
+            "--backend", "serial", "--shards", "2",
+        ]) == 0
+        capsys.readouterr()
+        payload = self.query_json(capsys, ["query", str(out), "--stats"])
+        assert payload["status"] == "ok"
+
+    def test_unknown_backend_rejected_by_parser(self, artifact, capsys):
+        _root, demo, _path = artifact
+        with pytest.raises(SystemExit):
+            main(["fit", str(demo), "--backend", "gpu"])
 
     def test_update_refuses_serving_only_artifact(
         self, artifact, capsys
