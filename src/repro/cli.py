@@ -11,6 +11,8 @@ The subcommands mirror the fit -> persist -> query lifecycle:
       kbt fit demo.jsonl --artifact model.kbt --output scores.csv
       kbt fit demo.jsonl --artifact model.kbt --signals all --gold gold.jsonl
       kbt fit demo.jsonl --artifact model.kbt --backend processes --shards 8
+      kbt fit demo.jsonl --artifact model.kbt --spill-dir /tmp/spill \\
+          --shards 32 --max-resident-shards 1   # out-of-core streaming
 
 * ``query`` — answer score lookups from an artifact without refitting::
 
@@ -263,6 +265,24 @@ def _add_exec_options(parser: argparse.ArgumentParser) -> None:
             "(default: one per CPU)"
         ),
     )
+    parser.add_argument(
+        "--spill-dir", default=None, metavar="DIR",
+        help=(
+            "run out-of-core: stream records into a cell-index-only "
+            "corpus, spill shard packets to DIR and map them back, so "
+            "resident memory holds one packet plus the per-coordinate "
+            "parameter vectors instead of the full extraction corpus "
+            "(results stay bit-identical; implies --backend serial "
+            "unless one is given)"
+        ),
+    )
+    parser.add_argument(
+        "--max-resident-shards", type=int, default=None, metavar="N",
+        help=(
+            "with --spill-dir: keep at most N shard packets "
+            "materialized at once (LRU; default: all mapped)"
+        ),
+    )
 
 
 def _add_summary_options(parser: argparse.ArgumentParser) -> None:
@@ -300,6 +320,8 @@ def _build_estimator(args: argparse.Namespace) -> KBTEstimator:
         min_triples=args.min_triples,
         backend=args.backend,
         num_shards=args.shards,
+        spill_dir=args.spill_dir,
+        max_resident_shards=args.max_resident_shards,
     )
 
 
@@ -398,8 +420,27 @@ def run_fit(args: argparse.Namespace, deprecated_alias: bool = False) -> int:
             "model for query/serve/update)",
             file=sys.stderr,
         )
-    # Stream straight into the matrix: no intermediate record list.
-    observations = ObservationMatrix.from_records(read_records(args.records))
+    # Out-of-core fits stream the records into the cell-index-only
+    # StreamingCorpus (never materializing the matrix's inverted
+    # indexes) unless a feature that needs the full matrix is requested:
+    # granularity re-plans the key universe and signals fit a shared
+    # CorpusContext.
+    if (
+        getattr(args, "spill_dir", None)
+        and not getattr(args, "signals", None)
+        and not args.split_merge
+    ):
+        from repro.core.indexing import StreamingCorpus
+        from repro.io.jsonl import read_record_chunks
+
+        observations = StreamingCorpus.from_chunks(
+            read_record_chunks(args.records)
+        )
+    else:
+        # Stream straight into the matrix: no intermediate record list.
+        observations = ObservationMatrix.from_records(
+            read_records(args.records)
+        )
     if observations.num_records == 0:
         print("no records found", file=sys.stderr)
         return 1
@@ -560,6 +601,8 @@ def run_update(args: argparse.Namespace) -> int:
         sweeps=args.sweeps,
         backend=args.backend,
         num_shards=args.shards,
+        spill_dir=args.spill_dir,
+        max_resident_shards=args.max_resident_shards,
     )
     out_path = args.artifact_out or args.artifact
     updated.save(out_path)

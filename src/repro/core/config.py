@@ -143,6 +143,23 @@ class MultiLayerConfig:
         num_shards: number of data-item shards for sharded execution
             (None: one shard per available CPU, capped at the item
             count). Only meaningful together with ``backend``.
+        spill_dir: when set, sharded execution runs **out-of-core**: the
+            shard packets and the compiled global arrays are spilled to
+            this directory (:mod:`repro.exec.spill`) and served back as
+            memory-mapped views, so the fit's anonymous working set
+            drops to one packet plus the per-coordinate parameter and
+            posterior vectors — the extraction/claim array mass (the
+            part that scales with records per coordinate) lives in
+            evictable file-backed pages instead. The single-machine
+            analogue of the paper's MapReduce property that no worker
+            materializes the full 2.8B-triple corpus (Table 7). Results
+            stay bit-identical to resident execution. Requires
+            ``backend``; the directory is (re)created and overwritten
+            per fit.
+        max_resident_shards: cap on how many spilled shard packets stay
+            materialized at once (LRU, per process for the ``processes``
+            backend); None keeps all mapped. ``1`` gives the tightest
+            memory ceiling. Requires ``spill_dir``.
         freeze_extractor_quality: skip the theta_2 M step entirely, keeping
             every extractor at its initial (P, R, Q). Used by warm-start
             incremental scoring (``FittedKBT.update``): a converged fit's
@@ -179,6 +196,8 @@ class MultiLayerConfig:
     engine: str = "python"
     backend: str | None = None
     num_shards: int | None = None
+    spill_dir: str | None = None
+    max_resident_shards: int | None = None
     freeze_extractor_quality: bool = False
 
     def __post_init__(self) -> None:
@@ -201,6 +220,20 @@ class MultiLayerConfig:
                 )
             if self.num_shards < 1:
                 raise ValueError("num_shards must be >= 1")
+        if self.spill_dir is not None and self.backend is None:
+            raise ValueError(
+                "spill_dir (out-of-core shard streaming) only applies to "
+                "sharded execution: set backend to one of "
+                f"{', '.join(registry.backend_names())}"
+            )
+        if self.max_resident_shards is not None:
+            if self.spill_dir is None:
+                raise ValueError(
+                    "max_resident_shards only applies to out-of-core "
+                    "execution: set spill_dir to a spill directory"
+                )
+            if self.max_resident_shards < 1:
+                raise ValueError("max_resident_shards must be >= 1")
         if not 0.0 < self.gamma < 1.0:
             raise ValueError("gamma must be in (0, 1)")
         if not 0.0 < self.alpha < 1.0:

@@ -228,14 +228,17 @@ class FittedKBT:
         sweeps: int = 2,
         backend: str | None = None,
         num_shards: int | None = None,
+        spill_dir: str | None = None,
+        max_resident_shards: int | None = None,
     ) -> "FittedKBT":
         """Fold new extraction records in without a full refit.
 
-        ``backend`` / ``num_shards`` override the sharded execution
-        settings for this update only (see
+        ``backend`` / ``num_shards`` / ``spill_dir`` /
+        ``max_resident_shards`` override the sharded execution settings
+        for this update only (see
         :class:`~repro.core.config.MultiLayerConfig`); by default the
         update runs with the fit's own configuration. Results are
-        backend-invariant either way.
+        backend- and residency-invariant either way.
 
         Converged extractor qualities are frozen at their fitted values
         and the source/value layers re-run for ``sweeps`` EM iterations on
@@ -259,6 +262,13 @@ class FittedKBT:
                 "include_observations=False?); a warm-start update needs "
                 "the original extraction cells"
             )
+        if not isinstance(self.observations, ObservationMatrix):
+            raise ValueError(
+                "this fit was built from a streamed corpus "
+                f"({type(self.observations).__name__}), which does not "
+                "keep the per-item indexes a warm-start update needs; "
+                "re-fit from an ObservationMatrix to update incrementally"
+            )
         new_obs = ObservationMatrix.from_records(new_records)
         if new_obs.num_records == 0:
             return self
@@ -273,10 +283,19 @@ class FittedKBT:
                 self.config.convergence, max_iterations=sweeps
             ),
         )
-        if backend is not None or num_shards is not None:
+        if (
+            backend is not None
+            or num_shards is not None
+            or spill_dir is not None
+            or max_resident_shards is not None
+        ):
             delta_config = replace(
                 delta_config, **_execution_overrides(
-                    delta_config, backend, num_shards
+                    delta_config,
+                    backend,
+                    num_shards,
+                    spill_dir,
+                    max_resident_shards,
                 )
             )
         delta_result = MultiLayerModel(delta_config).fit(
@@ -438,6 +457,16 @@ class KBTEstimator:
             across backends and shard counts.
         num_shards: when given, overrides ``config.num_shards`` (requires
             a backend).
+        spill_dir: when given, overrides ``config.spill_dir`` — sharded
+            execution runs out-of-core, streaming memory-mapped shard
+            packets from this directory
+            (:class:`~repro.exec.spill.OutOfCoreShardSource`) so peak
+            memory is bounded by one packet plus the parameter vectors.
+            A backend-less config is upgraded to ``backend="serial"``;
+            results stay bit-identical to resident execution.
+        max_resident_shards: when given, overrides
+            ``config.max_resident_shards`` (requires a spill dir): the
+            LRU cap on concurrently materialized packets.
     """
 
     def __init__(
@@ -449,15 +478,26 @@ class KBTEstimator:
         engine: str | None = None,
         backend: str | None = None,
         num_shards: int | None = None,
+        spill_dir: str | None = None,
+        max_resident_shards: int | None = None,
     ) -> None:
         if min_triples < 0:
             raise ValueError(f"min_triples must be >= 0, got {min_triples}")
         self._config = config or MultiLayerConfig()
         if engine is not None and engine != self._config.engine:
             self._config = replace(self._config, engine=engine)
-        if backend is not None or num_shards is not None:
+        if (
+            backend is not None
+            or num_shards is not None
+            or spill_dir is not None
+            or max_resident_shards is not None
+        ):
             overrides = _execution_overrides(
-                self._config, backend, num_shards
+                self._config,
+                backend,
+                num_shards,
+                spill_dir,
+                max_resident_shards,
             )
             if engine is not None:
                 # The caller pinned the engine explicitly: no silent
@@ -480,11 +520,32 @@ class KBTEstimator:
         When granularity selection is enabled and smart initialisation is
         provided, initial accuracies transfer to relabelled keys by applying
         the same plan to the initialisation mapping (unsplit keys only).
+
+        ``data`` may also be a :class:`~repro.core.indexing.
+        StreamingCorpus` (the out-of-core streaming builder); such fits
+        run on the numpy engine's compiled arrays and do not support
+        granularity selection or later warm-start updates (both need the
+        full matrix indexes).
         """
-        if isinstance(data, ObservationMatrix):
+        from repro.core.indexing import StreamingCorpus
+
+        if isinstance(data, (ObservationMatrix, StreamingCorpus)):
             observations = data
         else:
             observations = ObservationMatrix.from_records(data)
+        if isinstance(observations, StreamingCorpus):
+            if self._granularity is not None:
+                raise ValueError(
+                    "SPLITANDMERGE granularity selection needs the full "
+                    "observation matrix; fit a StreamingCorpus without "
+                    "granularity, or build an ObservationMatrix"
+                )
+            if self._config.engine == "python":
+                raise ValueError(
+                    "a StreamingCorpus fits on the numpy engine's "
+                    'compiled arrays; use engine="numpy" (optionally '
+                    "with a backend/spill_dir)"
+                )
 
         if self._granularity is not None:
             splitter = SplitAndMerge(self._granularity, seed=self._seed)
@@ -554,23 +615,33 @@ def _execution_overrides(
     config: MultiLayerConfig,
     backend: str | None,
     num_shards: int | None,
+    spill_dir: str | None = None,
+    max_resident_shards: int | None = None,
 ) -> dict:
     """Config overrides for an execution backend / shard-count request.
 
     Sharded execution runs over the numpy engine's compiled arrays, so
     requesting a backend on a (default) python-engine config upgrades the
     engine too — the results are bit-identical to the numpy engine and
-    within 1e-9 of the python engine either way. An explicit
-    ``engine="python"`` together with a backend is rejected by
-    ``MultiLayerConfig`` validation.
+    within 1e-9 of the python engine either way. Likewise, requesting a
+    spill directory (out-of-core streaming) on a backend-less config
+    upgrades the backend to ``serial``, since out-of-core execution runs
+    through the sharded driver. An explicit ``engine="python"`` together
+    with a backend is rejected by ``MultiLayerConfig`` validation.
     """
     overrides: dict = {}
     if backend is not None:
         overrides["backend"] = backend
-        if config.engine == "python":
-            overrides["engine"] = "numpy"
+    elif spill_dir is not None and config.backend is None:
+        overrides["backend"] = "serial"
+    if "backend" in overrides and config.engine == "python":
+        overrides["engine"] = "numpy"
     if num_shards is not None:
         overrides["num_shards"] = num_shards
+    if spill_dir is not None:
+        overrides["spill_dir"] = spill_dir
+    if max_resident_shards is not None:
+        overrides["max_resident_shards"] = max_resident_shards
     return overrides
 
 

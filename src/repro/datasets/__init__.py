@@ -12,8 +12,18 @@ from repro.datasets.motivating import (
     MOTIVATING_EXTRACTOR_QUALITY,
     motivating_example,
 )
-from repro.datasets.synthetic import SyntheticConfig, SyntheticData, generate
-from repro.datasets.kv import KVConfig, KVDataset, generate_kv
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    SyntheticData,
+    generate,
+    iter_synthetic_record_chunks,
+)
+from repro.datasets.kv import (
+    KVConfig,
+    KVDataset,
+    generate_kv,
+    iter_kv_record_chunks,
+)
 
 __all__ = [
     "KVConfig",
@@ -23,5 +33,7 @@ __all__ = [
     "SyntheticData",
     "generate",
     "generate_kv",
+    "iter_kv_record_chunks",
+    "iter_synthetic_record_chunks",
     "motivating_example",
 ]

@@ -155,8 +155,56 @@ def generate_kv(config: KVConfig | None = None) -> KVDataset:
     )
 
 
+def iter_kv_record_chunks(config: KVConfig | None = None):
+    """Stream the KV corpus as one record chunk per website.
+
+    The chunked-reader shape the out-of-core pipeline consumes
+    (:class:`~repro.core.indexing.StreamingCorpus` /
+    ``MultiLayerConfig.spill_dir``): each yielded chunk holds every
+    extraction record of one website across all systems, and only one
+    website's pages exist in memory at a time — the generator never
+    materializes the full corpus the way :func:`generate_kv` does.
+
+    Per-page extraction RNG is derived from ``(seed, system, url)``
+    exactly like :func:`repro.extraction.campaign.run_campaign`, so the
+    stream's record *set* equals the campaign's; only the order differs
+    (site-major here, system-major there). Fit equivalence is therefore
+    up to first-seen key order: compare like with like (both paths fed
+    from this stream, or both from the campaign).
+    """
+    cfg = config or KVConfig()
+    schema = default_schema()
+    catalog = EntityCatalog(seed=cfg.seed)
+    world = TrueWorld.build(
+        schema, catalog, items_per_predicate=cfg.items_per_predicate,
+        seed=cfg.seed,
+    )
+    systems = _build_systems(cfg, schema)
+    for site in _iter_sites(cfg, world):
+        records = []
+        for system in systems:
+            for page in site.pages:
+                rng = derive_rng(cfg.seed, "campaign", system.name, page.url)
+                if rng.random() >= system.page_coverage:
+                    continue
+                records.extend(
+                    outcome.record
+                    for outcome in system.run_on_page(
+                        page, world, schema, rng
+                    )
+                )
+        yield records
+
+
 def _build_sites(cfg: KVConfig, world: TrueWorld) -> list[WebSite]:
     """Draw the website mixture with its three cohorts."""
+    return list(_iter_sites(cfg, world))
+
+
+def _iter_sites(cfg: KVConfig, world: TrueWorld):
+    """Yield the website mixture one site at a time (same draws as the
+    resident builder: the shared cohort RNG is consumed sequentially, so
+    site ``i`` is identical whether or not earlier sites were kept)."""
     rng = derive_rng(cfg.seed, "sites")
     num_gossip = round(cfg.num_websites * cfg.gossip_fraction)
     num_tail = round(cfg.num_websites * cfg.tail_quality_fraction)
@@ -170,7 +218,6 @@ def _build_sites(cfg: KVConfig, world: TrueWorld) -> list[WebSite]:
         for topic in topics
     }
 
-    sites = []
     for index in range(cfg.num_websites):
         name = f"site{index:04d}.example"
         if index < num_gossip:
@@ -203,20 +250,17 @@ def _build_sites(cfg: KVConfig, world: TrueWorld) -> list[WebSite]:
             while len(page_sizes) < 3:
                 page_sizes.append(1)
             page_sizes = [max(size, 5) for size in page_sizes]
-        sites.append(
-            build_site(
-                world,
-                name=name,
-                accuracy=accuracy,
-                page_sizes=page_sizes,
-                predicates=predicates_by_topic[topic],
-                topic=topic,
-                popularity=popularity,
-                cohort=cohort,
-                seed=cfg.seed,
-            )
+        yield build_site(
+            world,
+            name=name,
+            accuracy=accuracy,
+            page_sizes=page_sizes,
+            predicates=predicates_by_topic[topic],
+            topic=topic,
+            popularity=popularity,
+            cohort=cohort,
+            seed=cfg.seed,
         )
-    return sites
 
 
 def _build_systems(cfg: KVConfig, schema: Schema) -> list[ExtractorSystem]:

@@ -131,18 +131,27 @@ def _domain_value(item: DataItem, value_index: int) -> str:
     return f"{item.subject}.{item.predicate}.v{value_index}"
 
 
-def generate(config: SyntheticConfig | None = None) -> SyntheticData:
-    """Draw one data set from the Section 5.2 process."""
-    cfg = config or SyntheticConfig()
+def _draw_web_layer(
+    cfg: SyntheticConfig,
+) -> tuple[
+    list[SourceKey],
+    dict[DataItem, Value],
+    set[Coord],
+    dict[SourceKey, list[tuple[DataItem, Value]]],
+    dict[SourceKey, int],
+]:
+    """The web layer of the Section 5.2 process: what each source provides.
+
+    Shared by :func:`generate` and :func:`iter_synthetic_record_chunks`
+    so both consume the page RNG in exactly the same sequence — the
+    drawn claims are identical either way.
+    """
     page_rng = derive_rng(cfg.seed, "pages")
     sources = [SourceKey((f"w{i}",)) for i in range(cfg.num_sources)]
-    extractors = [ExtractorKey((f"e{j}",)) for j in range(cfg.num_extractors)]
     items = _make_items(cfg)
     true_values: dict[DataItem, Value] = {
         item: _domain_value(item, 0) for item in items
     }
-
-    # --- web layer: what each source truly provides -------------------
     provided: set[Coord] = set()
     claims: dict[SourceKey, list[tuple[DataItem, Value]]] = {}
     correct_count: dict[SourceKey, int] = {}
@@ -159,6 +168,53 @@ def generate(config: SyntheticConfig | None = None) -> SyntheticData:
                 )
             claims[source].append((item, value))
             provided.add((source, item, value))
+    return sources, true_values, provided, claims, correct_count
+
+
+def iter_synthetic_record_chunks(config: SyntheticConfig | None = None):
+    """Stream the Section 5.2 corpus as one record chunk per extractor.
+
+    The chunked-reader shape the out-of-core pipeline consumes
+    (:class:`~repro.core.indexing.StreamingCorpus`). Per-extractor RNG
+    derivation matches :func:`generate` exactly, so concatenating the
+    chunks reproduces ``generate(config).records`` record for record —
+    only the (small) web layer of true claims is held in memory, never
+    the extraction corpus.
+    """
+    cfg = config or SyntheticConfig()
+    sources, _true_values, _provided, claims, _ = _draw_web_layer(cfg)
+    for j in range(cfg.num_extractors):
+        extractor = ExtractorKey((f"e{j}",))
+        rng = derive_rng(cfg.seed, "extract", j)
+        confusion = _subject_confusion(cfg, j)
+        chunk: list[ExtractionRecord] = []
+        for source in sources:
+            if rng.random() >= cfg.extractor_coverage:
+                continue
+            for item, value in claims[source]:
+                if rng.random() >= cfg.extractor_recall:
+                    continue
+                out_item, out_value = _reconcile(
+                    cfg, rng, confusion, item, value
+                )
+                chunk.append(
+                    ExtractionRecord(
+                        extractor=extractor,
+                        source=source,
+                        item=out_item,
+                        value=out_value,
+                    )
+                )
+        yield chunk
+
+
+def generate(config: SyntheticConfig | None = None) -> SyntheticData:
+    """Draw one data set from the Section 5.2 process."""
+    cfg = config or SyntheticConfig()
+    extractors = [ExtractorKey((f"e{j}",)) for j in range(cfg.num_extractors)]
+    sources, true_values, provided, claims, correct_count = _draw_web_layer(
+        cfg
+    )
     true_accuracy = {
         source: correct_count[source] / len(claims[source])
         for source in sources

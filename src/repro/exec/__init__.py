@@ -14,12 +14,19 @@ API instead of a simulation:
 * :func:`~repro.exec.driver.fit_sharded` is the EM driver behind
   ``MultiLayerConfig.backend``: map via the backend, reduce (SrcAccu /
   ExtQuality — the shared parameter update of the numpy engine) in the
-  driver, bit-identical to unsharded execution for any shard count.
+  driver, bit-identical to unsharded execution for any shard count;
+* :mod:`repro.exec.spill` makes the plan **out-of-core**: shard packets
+  spill to disk (``ShardPlan.persist``) and stream back as memory-mapped
+  views (:class:`~repro.exec.spill.OutOfCoreShardSource`), bounding peak
+  memory by one packet plus the parameter vectors — the single-machine
+  analogue of the paper's "no worker holds the corpus" MapReduce
+  property.
 
 Select it high-level via ``MultiLayerConfig(engine="numpy",
-backend="processes", num_shards=8)``, ``KBTEstimator(backend=...)`` or
-the CLI ``--backend/--shards`` flags; new backends register through
-:func:`repro.core.registry.register_backend`.
+backend="processes", num_shards=8)`` (plus ``spill_dir`` /
+``max_resident_shards`` for out-of-core), ``KBTEstimator(backend=...)``
+or the CLI ``--backend/--shards/--spill-dir`` flags; new backends
+register through :func:`repro.core.registry.register_backend`.
 """
 
 from repro.exec.backends import (
@@ -27,10 +34,17 @@ from repro.exec.backends import (
     ExecutionSession,
     ProcessBackend,
     SerialBackend,
+    ShardSource,
     ThreadBackend,
 )
 from repro.exec.driver import fit_sharded
 from repro.exec.plan import Shard, ShardPlan, StageStats
+from repro.exec.spill import (
+    OutOfCoreShardSource,
+    SpillError,
+    persist_plan,
+    spill_problem_arrays,
+)
 from repro.exec.worker import (
     FinalizeParams,
     IterationParams,
@@ -44,14 +58,19 @@ __all__ = [
     "ExecutionSession",
     "FinalizeParams",
     "IterationParams",
+    "OutOfCoreShardSource",
     "ProcessBackend",
     "SerialBackend",
     "Shard",
     "ShardPlan",
+    "ShardSource",
     "ShardState",
+    "SpillError",
     "StageStats",
     "ThreadBackend",
     "finalize_shard",
     "fit_sharded",
+    "persist_plan",
     "run_shard_iteration",
+    "spill_problem_arrays",
 ]

@@ -1,8 +1,10 @@
 """Execution backends: where the map rounds of a shard plan actually run.
 
 The :class:`ExecutionBackend` protocol is the pluggable seam of sharded
-execution: a backend opens an :class:`ExecutionSession` over a
-:class:`~repro.exec.plan.ShardPlan`, and the driver feeds it one
+execution: a backend opens an :class:`ExecutionSession` over a **packet
+source** — either a resident :class:`~repro.exec.plan.ShardPlan` or an
+out-of-core :class:`~repro.exec.spill.OutOfCoreShardSource` serving
+memory-mapped packets — and the driver feeds it one
 :class:`~repro.exec.worker.IterationParams` per EM iteration. Built-ins
 (registered in :mod:`repro.core.registry`):
 
@@ -16,8 +18,17 @@ execution: a backend opens an :class:`ExecutionSession` over a
   per-iteration parameter block living in POSIX shared memory
   (:mod:`multiprocessing.shared_memory`); workers scatter their slices
   into disjoint regions, so no result pickling happens on the hot path.
+  With an out-of-core source, workers receive only the spill directory
+  path and map the packet files directly — packet bytes never cross the
+  process boundary, neither pickled nor copied into shared memory.
   Sidesteps the GIL entirely — the backend for CPU-bound fits on
   multi-core machines.
+
+Sessions fetch packets through ``source.get_shard(index)`` each round
+and never assume packets stay resident between rounds; per-shard
+mutable state (:class:`~repro.exec.worker.ShardState`) is created
+lazily and kept for the whole fit, which is what bounds an out-of-core
+fit's working set by one packet plus the parameter vectors.
 
 Every backend produces bit-identical results (the reduce runs in the
 driver over globally re-assembled arrays; see :mod:`repro.exec.plan`).
@@ -32,7 +43,7 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from repro.core.config import AbsenceScope, MultiLayerConfig
-from repro.exec.plan import Shard, ShardPlan
+from repro.exec.plan import Shard
 from repro.exec.worker import (
     FinalizeParams,
     IterationParams,
@@ -43,8 +54,35 @@ from repro.exec.worker import (
 
 
 @runtime_checkable
+class ShardSource(Protocol):
+    """The packet-source contract every backend consumes.
+
+    Implemented by the resident :class:`~repro.exec.plan.ShardPlan` and
+    the out-of-core :class:`~repro.exec.spill.OutOfCoreShardSource`;
+    both expose the plan-level dimensions, serve packets by index, and
+    describe a picklable per-worker packet subset for the process
+    backend.
+    """
+
+    num_shards: int
+    num_coords: int
+    num_triples: int
+    num_items: int
+    num_sources: int
+    num_cols: int
+
+    def get_shard(self, index: int) -> Shard:
+        """The shard packet with ``index`` (resident or memory-mapped)."""
+        ...
+
+    def worker_payload(self, indices: tuple[int, ...]) -> tuple:
+        """A picklable recipe for a worker's packet subset."""
+        ...
+
+
+@runtime_checkable
 class ExecutionSession(Protocol):
-    """A live execution context over one shard plan (context manager)."""
+    """A live execution context over one packet source (context manager)."""
 
     def run_iteration(
         self,
@@ -71,9 +109,9 @@ class ExecutionBackend(Protocol):
     name: str
 
     def open(
-        self, plan: ShardPlan, cfg: MultiLayerConfig
+        self, source: ShardSource, cfg: MultiLayerConfig
     ) -> ExecutionSession:
-        """Open a session over ``plan`` (enter it to start workers)."""
+        """Open a session over ``source`` (enter it to start workers)."""
         ...
 
 
@@ -81,14 +119,18 @@ class ExecutionBackend(Protocol):
 # In-process backends (serial / threads)
 # ----------------------------------------------------------------------
 class _InProcessSession:
-    """Shared machinery: shard states live in the driver process."""
+    """Shared machinery: shard states live in the driver process.
 
-    def __init__(self, plan: ShardPlan, cfg: MultiLayerConfig) -> None:
-        self._plan = plan
+    Packets are fetched from the source each round (a tuple lookup for a
+    resident plan, a memory-map for an out-of-core source); the mutable
+    per-shard :class:`ShardState` is created on first touch and kept for
+    the whole fit.
+    """
+
+    def __init__(self, source: ShardSource, cfg: MultiLayerConfig) -> None:
+        self._source = source
         self._cfg = cfg
-        self._states = [
-            ShardState.initial(shard, cfg) for shard in plan.shards
-        ]
+        self._states: dict[int, ShardState] = {}
 
     def __enter__(self) -> "_InProcessSession":
         return self
@@ -96,24 +138,33 @@ class _InProcessSession:
     def __exit__(self, *exc: object) -> None:
         pass
 
+    def _state_for(self, shard: Shard) -> ShardState:
+        state = self._states.get(shard.index)
+        if state is None:
+            state = ShardState.initial(shard, self._cfg)
+            self._states[shard.index] = state
+        return state
+
     def _run_one(
         self,
-        shard: Shard,
+        index: int,
         params: IterationParams,
         out_p_correct: np.ndarray,
         out_posterior: np.ndarray,
     ) -> None:
+        shard = self._source.get_shard(index)
         p_correct, posterior = run_shard_iteration(
-            shard, self._cfg, self._states[shard.index], params
+            shard, self._cfg, self._state_for(shard), params
         )
         out_p_correct[shard.coord_idx] = p_correct
         out_posterior[shard.triple_lo : shard.triple_hi] = posterior
 
     def finalize(self, params: FinalizeParams) -> np.ndarray:
-        priors = np.empty(self._plan.num_coords)
-        for shard in self._plan.shards:
+        priors = np.empty(self._source.num_coords)
+        for index in range(self._source.num_shards):
+            shard = self._source.get_shard(index)
             priors[shard.coord_idx] = finalize_shard(
-                shard, self._cfg, self._states[shard.index], params
+                shard, self._cfg, self._state_for(shard), params
             )
         return priors
 
@@ -125,18 +176,18 @@ class _SerialSession(_InProcessSession):
         out_p_correct: np.ndarray,
         out_posterior: np.ndarray,
     ) -> None:
-        for shard in self._plan.shards:
-            self._run_one(shard, params, out_p_correct, out_posterior)
+        for index in range(self._source.num_shards):
+            self._run_one(index, params, out_p_correct, out_posterior)
 
 
 class _ThreadSession(_InProcessSession):
-    def __init__(self, plan: ShardPlan, cfg: MultiLayerConfig) -> None:
-        super().__init__(plan, cfg)
+    def __init__(self, source: ShardSource, cfg: MultiLayerConfig) -> None:
+        super().__init__(source, cfg)
         self._pool: ThreadPoolExecutor | None = None
 
     def __enter__(self) -> "_ThreadSession":
         self._pool = ThreadPoolExecutor(
-            max_workers=max(1, min(len(self._plan.shards), 32)),
+            max_workers=max(1, min(self._source.num_shards, 32)),
             thread_name_prefix="kbt-shard",
         )
         return self
@@ -155,34 +206,45 @@ class _ThreadSession(_InProcessSession):
         assert self._pool is not None, "session not entered"
         futures = [
             self._pool.submit(
-                self._run_one, shard, params, out_p_correct, out_posterior
+                self._run_one, index, params, out_p_correct, out_posterior
             )
-            for shard in self._plan.shards
+            for index in range(self._source.num_shards)
         ]
         for future in futures:
             future.result()
 
 
 class SerialBackend:
-    """Run shards sequentially in the driver process."""
+    """Run shards sequentially in the driver process.
+
+    The correctness baseline for the paper's per-iteration map jobs
+    (Table 7: ExtCorr, TriplePr) and the natural partner of out-of-core
+    streaming: one shard materialized at a time, processed in index
+    order, no dispatch overhead.
+    """
 
     name = "serial"
 
     def open(
-        self, plan: ShardPlan, cfg: MultiLayerConfig
+        self, source: ShardSource, cfg: MultiLayerConfig
     ) -> _SerialSession:
-        return _SerialSession(plan, cfg)
+        return _SerialSession(source, cfg)
 
 
 class ThreadBackend:
-    """Run shards on a thread pool (GIL-releasing NumPy kernels)."""
+    """Run shards on a thread pool (GIL-releasing NumPy kernels).
+
+    Parallelises the Table 7 map jobs inside one address space: shards
+    write disjoint slices of the output vectors, so no synchronisation
+    beyond the round barrier is needed and results stay bit-identical.
+    """
 
     name = "threads"
 
     def open(
-        self, plan: ShardPlan, cfg: MultiLayerConfig
+        self, source: ShardSource, cfg: MultiLayerConfig
     ) -> _ThreadSession:
-        return _ThreadSession(plan, cfg)
+        return _ThreadSession(source, cfg)
 
 
 # ----------------------------------------------------------------------
@@ -196,25 +258,45 @@ _FINAL = "final"
 _POLL_S = 1.0
 
 
-def _param_layout(plan: ShardPlan) -> tuple[dict[str, slice], int]:
+def _param_layout(source: ShardSource) -> tuple[dict[str, slice], int]:
     """Offsets of the per-iteration parameter block in shared memory."""
     layout: dict[str, slice] = {}
     offset = 0
     for name, size in (
-        ("accuracy", plan.num_sources),
-        ("base_absence", plan.num_sources),
-        ("source_vote", plan.num_sources),
-        ("pre_vote", plan.num_cols),
-        ("abs_vote", plan.num_cols),
+        ("accuracy", source.num_sources),
+        ("base_absence", source.num_sources),
+        ("source_vote", source.num_sources),
+        ("pre_vote", source.num_cols),
+        ("abs_vote", source.num_cols),
     ):
         layout[name] = slice(offset, offset + size)
         offset += size
     return layout, offset
 
 
+def _open_worker_shards(payload: tuple):
+    """Turn a ``worker_payload`` recipe into ``(shard_ids, fetch)``.
+
+    ``("resident", shards)`` carries the packets themselves (shared
+    copy-on-write under ``fork``); ``("spill", dir, indices, cap)``
+    re-opens the spill directory in the worker, which then maps the
+    packet files directly — no packet bytes cross the process boundary.
+    """
+    kind = payload[0]
+    if kind == "resident":
+        resident = {shard.index: shard for shard in payload[1]}
+        return list(resident), resident.__getitem__
+    from repro.exec.spill import OutOfCoreShardSource
+
+    source = OutOfCoreShardSource(
+        payload[1], max_resident_shards=payload[3]
+    )
+    return list(payload[2]), source.get_shard
+
+
 def _shard_worker(
     worker_index: int,
-    shards: tuple[Shard, ...],
+    payload: tuple,
     cfg: MultiLayerConfig,
     shm_names: dict[str, str],
     dims: tuple[int, int, int],
@@ -226,10 +308,13 @@ def _shard_worker(
 
     One worker owns one or more shards (shards are multiplexed over at
     most :func:`_worker_cap` processes, so a fine-grained plan does not
-    translate into thousands of processes). The shard arrays and the
-    mutable :class:`ShardState` objects stay resident in this process;
-    per round only a tiny control message crosses the pipe, parameters
-    are read from (and results scattered into) shared memory.
+    translate into thousands of processes). The mutable
+    :class:`ShardState` objects stay resident in this process; the shard
+    arrays are either resident too (a shipped plan subset) or fetched as
+    memory-mapped views each round (an out-of-core spill, bounded by its
+    per-worker ``max_resident_shards`` cap). Per round only a tiny
+    control message crosses the pipe, parameters are read from (and
+    results scattered into) shared memory.
     """
     from multiprocessing import shared_memory
 
@@ -250,7 +335,11 @@ def _shard_worker(
         param_block = np.ndarray(
             (param_len,), dtype=np.float64, buffer=segments["params"].buf
         )
-        states = [ShardState.initial(shard, cfg) for shard in shards]
+        shard_ids, fetch = _open_worker_shards(payload)
+        states = {
+            index: ShardState.initial(fetch(index), cfg)
+            for index in shard_ids
+        }
         active = cfg.absence_scope is AbsenceScope.ACTIVE
 
         while True:
@@ -277,9 +366,10 @@ def _shard_worker(
                         ),
                         source_vote=param_block[layout["source_vote"]],
                     )
-                    for shard, state in zip(shards, states):
+                    for index in shard_ids:
+                        shard = fetch(index)
                         p_s, post_s = run_shard_iteration(
-                            shard, cfg, state, params
+                            shard, cfg, states[index], params
                         )
                         p_correct[shard.coord_idx] = p_s
                         posterior[
@@ -295,9 +385,10 @@ def _shard_worker(
                             else None
                         ),
                     )
-                    for shard, state in zip(shards, states):
+                    for index in shard_ids:
+                        shard = fetch(index)
                         priors_out[shard.coord_idx] = finalize_shard(
-                            shard, cfg, state, final
+                            shard, cfg, states[index], final
                         )
                 done_queue.put((worker_index, None))
             except Exception:  # pragma: no cover - exercised via errors
@@ -318,10 +409,10 @@ def _worker_cap() -> int:
 class _ProcessSession:
     """One persistent worker process per shard + shared-memory buffers."""
 
-    def __init__(self, plan: ShardPlan, cfg: MultiLayerConfig) -> None:
-        self._plan = plan
+    def __init__(self, source: ShardSource, cfg: MultiLayerConfig) -> None:
+        self._source = source
         self._cfg = cfg
-        self._layout, self._param_len = _param_layout(plan)
+        self._layout, self._param_len = _param_layout(source)
         self._workers: list = []
         self._task_queues: list = []
         self._segments: dict = {}
@@ -331,18 +422,19 @@ class _ProcessSession:
         import multiprocessing as mp
         from multiprocessing import shared_memory
 
-        # fork shares the (read-only) shard arrays copy-on-write with the
+        # fork shares resident shard arrays copy-on-write with the
         # workers; where unavailable (Windows, macOS default) spawn ships
-        # them once at startup.
+        # them once at startup. Out-of-core payloads carry only the spill
+        # directory path either way — workers map the files themselves.
         method = (
             "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         )
         ctx = mp.get_context(method)
-        plan = self._plan
+        source = self._source
         sizes = {
-            "p": plan.num_coords,
-            "post": plan.num_triples,
-            "priors": plan.num_coords,
+            "p": source.num_coords,
+            "post": source.num_triples,
+            "priors": source.num_coords,
             "params": self._param_len,
         }
         try:
@@ -359,19 +451,19 @@ class _ProcessSession:
                 key: segment.name
                 for key, segment in self._segments.items()
             }
-            dims = (plan.num_coords, plan.num_triples, self._param_len)
+            dims = (source.num_coords, source.num_triples, self._param_len)
             self._done_queue = ctx.Queue()
-            num_workers = min(len(plan.shards), _worker_cap())
-            groups: list[list[Shard]] = [[] for _ in range(num_workers)]
-            for position, shard in enumerate(plan.shards):
-                groups[position % num_workers].append(shard)
+            num_workers = min(source.num_shards, _worker_cap())
+            groups: list[list[int]] = [[] for _ in range(num_workers)]
+            for index in range(source.num_shards):
+                groups[index % num_workers].append(index)
             for worker_index, group in enumerate(groups):
                 task_queue = ctx.SimpleQueue()
                 worker = ctx.Process(
                     target=_shard_worker,
                     args=(
                         worker_index,
-                        tuple(group),
+                        source.worker_payload(tuple(group)),
                         self._cfg,
                         shm_names,
                         dims,
@@ -470,20 +562,29 @@ class _ProcessSession:
 
 
 class ProcessBackend:
-    """Worker processes over shared-memory numpy buffers (no GIL)."""
+    """Worker processes over shared-memory numpy buffers (no GIL).
+
+    The closest single-machine analogue of the paper's MapReduce
+    deployment: persistent workers own disjoint shard subsets, only
+    parameter blocks and control messages cross process boundaries, and
+    with an out-of-core source the packet files are mapped directly in
+    each worker. Results remain bit-identical — workers scatter into
+    disjoint shared-memory regions, and the reduce stays in the driver.
+    """
 
     name = "processes"
 
     def open(
-        self, plan: ShardPlan, cfg: MultiLayerConfig
+        self, source: ShardSource, cfg: MultiLayerConfig
     ) -> _ProcessSession:
-        return _ProcessSession(plan, cfg)
+        return _ProcessSession(source, cfg)
 
 
 __all__ = [
     "ExecutionBackend",
     "ExecutionSession",
     "SerialBackend",
+    "ShardSource",
     "ThreadBackend",
     "ProcessBackend",
 ]

@@ -2,14 +2,23 @@
 
 ``fit_sharded`` is the execution path behind ``MultiLayerConfig.backend``.
 It mirrors :func:`repro.core.engine_numpy.fit_numpy` exactly, but the E
-steps of each iteration run as one *map* round over the
-:class:`~repro.exec.plan.ShardPlan` (dispatched through the selected
-:class:`~repro.exec.backends.ExecutionBackend`), and the parameter update
+steps of each iteration run as one *map* round over a packet source (a
+resident :class:`~repro.exec.plan.ShardPlan` or, with
+``MultiLayerConfig.spill_dir`` set, an out-of-core
+:class:`~repro.exec.spill.OutOfCoreShardSource` serving memory-mapped
+packets), dispatched through the selected
+:class:`~repro.exec.backends.ExecutionBackend`; the parameter update
 (theta_1 / theta_2) runs as the *reduce* over the globally re-assembled
 ``p_correct`` / ``posterior`` arrays — the same
 :func:`~repro.core.engine_numpy.update_parameters` code, in the same
 array order, so the fitted model is bit-identical to the unsharded numpy
-engine for every shard count and backend.
+engine for every shard count, backend, and residency mode.
+
+Out-of-core mode additionally spills the compiled *global* arrays the
+reduce scans (:func:`~repro.exec.spill.spill_problem_arrays`) and
+releases their pages after every iteration, so the driver's anonymous
+working set stays bounded by the parameter/posterior vectors while the
+corpus itself lives in evictable file-backed pages.
 """
 
 from __future__ import annotations
@@ -48,7 +57,10 @@ def fit_sharded(
 
     ``problem`` / ``plan`` let callers that already compiled the problem
     (e.g. the MapReduce cost-model runner) reuse their arrays instead of
-    re-compiling.
+    re-compiling. ``observations`` may be an
+    :class:`~repro.core.observation.ObservationMatrix` or a released
+    :class:`~repro.core.indexing.StreamingCorpus` (only its
+    ``num_triples`` is read once the problem is compiled).
     """
     if cfg.backend is None:
         raise ValueError("fit_sharded needs cfg.backend to be set")
@@ -59,6 +71,25 @@ def fit_sharded(
         plan = ShardPlan.from_problem(
             prob, cfg, resolve_num_shards(cfg, prob)
         )
+
+    out_of_core = cfg.spill_dir is not None
+    if out_of_core:
+        from repro.exec.spill import (
+            OutOfCoreShardSource,
+            release_problem_pages,
+            spill_problem_arrays,
+        )
+
+        plan.persist(cfg.spill_dir)
+        source = OutOfCoreShardSource(
+            cfg.spill_dir, max_resident_shards=cfg.max_resident_shards
+        )
+        prob = spill_problem_arrays(prob, cfg.spill_dir)
+        # Drop the resident packets and arrays: from here on the corpus
+        # is served from evictable file-backed pages only.
+        plan = None
+    else:
+        source = plan
 
     params = init_params(
         cfg,
@@ -71,11 +102,11 @@ def fit_sharded(
 
     backend_cls = registry.resolve_backend(cfg.backend)
     history: list[IterationSnapshot] = []
-    p_correct = np.zeros(plan.num_coords)
-    posterior = np.zeros(plan.num_triples)
+    p_correct = np.zeros(source.num_coords)
+    posterior = np.zeros(source.num_triples)
     priors: np.ndarray | None = None
 
-    with backend_cls().open(plan, cfg) as session:
+    with backend_cls().open(source, cfg) as session:
         last_iteration = 0
         for iteration in range(1, cfg.convergence.max_iterations + 1):
             last_iteration = iteration
@@ -107,6 +138,11 @@ def fit_sharded(
             history.append(
                 IterationSnapshot(iteration, accuracy_delta, extractor_delta)
             )
+            if out_of_core:
+                # The reduce just scanned the memory-mapped global
+                # arrays; release their pages so the resident set stays
+                # bounded instead of accumulating the whole corpus.
+                release_problem_pages(prob)
             if (
                 max(accuracy_delta, extractor_delta)
                 < cfg.convergence.tolerance

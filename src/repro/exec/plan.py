@@ -109,7 +109,15 @@ class Shard:
 
 @dataclass(frozen=True)
 class ShardPlan:
-    """The partition of one compiled problem into executable shards."""
+    """The partition of one compiled problem into executable shards.
+
+    A plan is the *resident* implementation of the packet-source contract
+    the execution backends consume (``num_shards``, the plan-level
+    dimensions, and :meth:`get_shard`); :class:`repro.exec.spill.
+    OutOfCoreShardSource` is the out-of-core implementation that serves
+    the same packets as memory-mapped views of a directory written by
+    :meth:`persist`.
+    """
 
     num_shards: int
     shards: tuple[Shard, ...]
@@ -123,13 +131,43 @@ class ShardPlan:
     #: III SrcAccu, IV ExtQuality.
     stage_stats: dict[str, StageStats]
 
+    # ------------------------------------------------------------------
+    # The packet-source contract (shared with OutOfCoreShardSource)
+    # ------------------------------------------------------------------
+    def get_shard(self, index: int) -> Shard:
+        """The shard packet with ``index`` (resident: a tuple lookup)."""
+        return self.shards[index]
+
+    def worker_payload(self, indices: tuple[int, ...]) -> tuple:
+        """A picklable recipe for a process-backend worker's shards.
+
+        Resident plans ship the packets themselves (shared copy-on-write
+        under ``fork``, pickled once at startup under ``spawn``)."""
+        return ("resident", tuple(self.shards[i] for i in indices))
+
+    def persist(self, directory) -> "Path":
+        """Spill every shard packet to ``directory`` for out-of-core use.
+
+        Writes one raw ``.npy`` file per packet array plus a JSON
+        manifest; see :mod:`repro.exec.spill` for the layout and
+        :class:`~repro.exec.spill.OutOfCoreShardSource` for reading the
+        packets back as memory-mapped views. Returns the manifest path.
+        """
+        from repro.exec.spill import persist_plan
+
+        return persist_plan(self, directory)
+
     @classmethod
     def from_problem(
         cls, prob: CompiledProblem, cfg: MultiLayerConfig, num_shards: int
     ) -> "ShardPlan":
         """Partition ``prob`` into ``num_shards`` item-contiguous shards."""
         if num_shards < 1:
-            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+            raise ValueError(
+                f"num_shards must be >= 1 (any positive shard count is "
+                f"valid, including more shards than data items), got "
+                f"{num_shards}"
+            )
         n_items = prob.num_items
         n_coords = prob.num_coords
 
@@ -241,6 +279,11 @@ def _contiguous_cuts(weight: np.ndarray, num_shards: int) -> np.ndarray:
     ``cuts[-1] == len(weight)``; empty shards are allowed when there are
     fewer items than shards.
     """
+    if num_shards < 1:
+        raise ValueError(
+            f"num_shards must be >= 1 (any positive shard count is "
+            f"valid), got {num_shards}"
+        )
     n_items = len(weight)
     if n_items == 0:
         return np.zeros(num_shards + 1, dtype=np.int64)

@@ -59,7 +59,16 @@ class FinalizeParams:
 
 @dataclass
 class ShardState:
-    """Mutable per-shard state carried across iterations."""
+    """Mutable per-shard state carried across iterations.
+
+    Holds the coordinate priors (Section 3.3.4) plus the previous
+    round's value posteriors / residual mass — the inputs of the
+    deferred Eq. 26 update. Invariant: a coordinate's triple and item
+    live in the coordinate's own shard, so this state never needs
+    cross-shard reads, which is what lets it stay resident with its
+    worker while the packet arrays themselves may be re-mapped (or
+    evicted) between rounds.
+    """
 
     priors: np.ndarray
     posterior: np.ndarray

@@ -96,3 +96,25 @@ def read_records(path: str | Path) -> Iterator[ExtractionRecord]:
                     f"{path}:{line_number}: invalid JSON"
                 ) from error
             yield record_from_dict(data)
+
+
+def read_record_chunks(
+    path: str | Path, chunk_size: int = 50_000
+) -> Iterator[list[ExtractionRecord]]:
+    """Stream a JSONL file as bounded record chunks.
+
+    The chunked-reader shape the out-of-core pipeline consumes
+    (:class:`~repro.core.indexing.StreamingCorpus`): concatenating the
+    chunks reproduces :func:`read_records` exactly, but no more than
+    ``chunk_size`` parsed records exist at once.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    chunk: list[ExtractionRecord] = []
+    for record in read_records(path):
+        chunk.append(record)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk

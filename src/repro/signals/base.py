@@ -70,7 +70,15 @@ class SignalScores:
 
 @runtime_checkable
 class TrustSignal(Protocol):
-    """The provider protocol every trust signal implements."""
+    """The provider protocol every trust signal implements.
+
+    Section 5.4.2 proposes combining KBT "with other signals" for
+    source quality; a provider is anything with a stable ``name`` and a
+    ``fit(context) -> SignalScores``. Invariants: scores lie in [0, 1]
+    and are keyed by website, ``fit`` never mutates the shared context
+    beyond its locked caches, and equal contexts give equal scores
+    (providers derive all randomness from the corpus, not a clock).
+    """
 
     @property
     def name(self) -> str:

@@ -21,7 +21,15 @@ from repro.web.analysis import pearson_correlation
 
 
 class SignalFrame:
-    """Aligned per-website scores across a set of named signals."""
+    """Aligned per-website scores across a set of named signals.
+
+    The tabular view behind Figure 10: one row per website, one column
+    per signal, with dense ranks, percentiles, z-scores, and the
+    two-signal disagreement quadrants derived on demand. Invariants:
+    signal names are unique, the website universe is the union of every
+    signal's keys (a signal may be sparse), and frames are read-only
+    after construction (all caches are derived, never inputs).
+    """
 
     def __init__(self, signals: Iterable[SignalScores]) -> None:
         self._signals: dict[str, SignalScores] = {}

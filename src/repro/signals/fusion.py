@@ -24,7 +24,13 @@ from repro.util.logmath import clamp
 
 @dataclass(frozen=True)
 class FusionResult:
-    """Fused per-website scores plus the weights that produced them."""
+    """Fused per-website scores plus the weights that produced them.
+
+    Invariants: weights are non-negative and sum to 1 over the fused
+    signals; ``deviations`` holds the per-signal WDev losses (Section
+    5.1.1) exactly when the weights were calibrated against gold
+    labels.
+    """
 
     scores: dict[str, float]
     weights: dict[str, float]

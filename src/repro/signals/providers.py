@@ -28,7 +28,12 @@ from repro.web.pagerank import pagerank
 
 
 class KBTSignal:
-    """The multi-layer KBT estimate, straight from the shared fit."""
+    """The multi-layer KBT estimate (Section 3), from the shared fit.
+
+    Reads the context's lazily shared ``FittedKBT`` — scores are the
+    fitted ``A_w`` aggregated to websites under the Section 5.4
+    reporting rule, identical to ``kbt fit``'s own output.
+    """
 
     name = "kbt"
 
@@ -105,7 +110,13 @@ class SingleLayerSignal:
 
 
 class PageRankSignal:
-    """Link popularity over the web graph, normalised to [0, 1]."""
+    """Link popularity over the web graph, normalised to [0, 1].
+
+    The Figure 10 comparison signal: popularity, which Section 5.4.2
+    shows is near-orthogonal to accuracy. Falls back to the co-claim
+    proxy graph when no hyperlinks are known, so the signal is always
+    defined on the corpus's websites.
+    """
 
     name = "pagerank"
 

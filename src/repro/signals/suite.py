@@ -18,7 +18,15 @@ from repro.signals.providers import default_providers
 
 
 class SignalSuite:
-    """A named registry of providers with a concurrent ``run``."""
+    """A named registry of providers with a concurrent ``run``.
+
+    The execution surface of Section 5.4.2's multi-signal view: the
+    built-in registry covers KBT (Section 3), the ACCU/POPACCU
+    baselines (Section 2.2), PageRank (the Figure 10 foil), and
+    copy-adjusted KBT. Invariants: provider names are unique, a run
+    touches only the selected providers, and failures name the
+    offending provider (SignalError) instead of poisoning the frame.
+    """
 
     def __init__(
         self, providers: Iterable[TrustSignal] | None = None

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Check that intra-repo links in README.md and docs/*.md resolve.
+
+Scans markdown inline links (``[text](target)``). External targets
+(``http(s)://``, ``mailto:``) are skipped; relative targets are resolved
+against the linking file's directory (fragments stripped) and must
+exist in the working tree. Exits non-zero listing every broken link —
+run from the repository root, as the CI docs job does::
+
+    python tools/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown link, ignoring images; the target stops at the first
+#: unescaped ')' (no nested parentheses in this repo's docs).
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_doc_files(root: Path) -> list[Path]:
+    docs = sorted((root / "docs").glob("*.md"))
+    return [root / "README.md", *docs]
+
+
+def broken_links(path: Path, root: Path) -> list[tuple[str, str]]:
+    failures = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL):
+            continue
+        resource = target.split("#", 1)[0]
+        if not resource:  # pure in-page anchor
+            continue
+        resolved = (path.parent / resource).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            failures.append((target, "escapes the repository"))
+            continue
+        if not resolved.exists():
+            failures.append((target, f"missing: {resolved}"))
+    return failures
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    total_links = 0
+    failures: list[str] = []
+    for doc in iter_doc_files(root):
+        if not doc.is_file():
+            failures.append(f"{doc}: file listed for checking is missing")
+            continue
+        text = doc.read_text(encoding="utf-8")
+        total_links += sum(
+            1
+            for match in _LINK.finditer(text)
+            if not match.group(1).startswith(_EXTERNAL)
+        )
+        for target, reason in broken_links(doc, root):
+            failures.append(
+                f"{doc.relative_to(root)}: broken link {target!r} "
+                f"({reason})"
+            )
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        return 1
+    print(
+        f"all {total_links} intra-repo links across "
+        f"{len(iter_doc_files(root))} files resolve"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
