@@ -1,0 +1,259 @@
+"""Fault recovery: injected kills, stragglers, and checkpoint resume.
+
+The paper's 2.8B-triple production fit (Table 7) runs on MapReduce,
+where worker failures and stragglers are routine; the ``processes``
+backend reproduces that execution model on one machine, so its recovery
+machinery has to carry the same guarantee the driver's determinism
+ladder promises everywhere else: **a fault changes when work happens,
+never what is computed**. This bench injects deterministic faults
+(:class:`repro.exec.faults.FaultPlan` via ``KBT_FAULT_PLAN``) into
+otherwise identical fits over a KV corpus and records
+
+* the fault-free serial fit's wall time and bit-exact model digest (the
+  baseline every other leg is compared against);
+* processes fits with zero, one, and two injected worker kills — each
+  recovered fit's wall time and its digest, which must **equal** the
+  baseline;
+* a deliberate straggler (one shard's first attempt sleeps; speculation
+  re-dispatches it and the first result wins) — digest again equal;
+* a kill schedule that exhausts the retry budget of a checkpointed fit
+  (a terminal :class:`~repro.exec.backends.ExecError`), followed by a
+  ``resume=True`` fit from the surviving checkpoint — which must finish
+  with the baseline digest.
+
+Digest equality is asserted at **every** scale — recovery that is only
+bit-identical on large corpora is not bit-identical. Wall times are
+recorded for the report but never gated: recovery cost is dominated by
+the injected sleeps and backoff schedule, not by anything this code can
+regress. Stats land in ``benchmarks/results/BENCH_faults.json``; set
+``FAULTS_BENCH_SCALE=smoke`` for the reduced CI corpus.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+import tempfile
+import time
+
+import pytest
+
+from _harness import is_smoke, save_result, save_stats
+from _outofcore_child import result_digest
+
+from repro.core.config import ConvergenceConfig, MultiLayerConfig
+from repro.core.multi_layer import MultiLayerModel
+from repro.core.observation import ObservationMatrix
+from repro.datasets.kv import KVConfig, iter_kv_record_chunks
+from repro.exec.backends import ExecError
+from repro.exec.checkpoint import load_checkpoint
+from repro.exec.faults import FAULT_PLAN_ENV, FaultPlan
+from repro.util.tables import format_table
+
+SMOKE = is_smoke("faults")
+
+WEBSITES = 40 if SMOKE else 250
+SEED = 31
+#: Two shards pin the session to exactly two initial workers (indices 0
+#: and 1) on any machine; replacements take 2, 3, ... in spawn order, so
+#: the fault plans below fire identically everywhere.
+NUM_SHARDS = 2
+MAX_ITERATIONS = 4
+
+#: Short backoff so injected failures resolve in bench time; the digest
+#: contract is invariant to these knobs.
+FAST_SUPERVISION = {
+    "KBT_RETRY_BACKOFF_S": "0.02",
+    "KBT_RETRY_BACKOFF_CAP_S": "0.1",
+    "KBT_WORKER_GRACE_S": "1.0",
+    "KBT_STRAGGLER_FACTOR": "2.0",
+    "KBT_STRAGGLER_MIN_S": "0.2",
+}
+
+
+@contextlib.contextmanager
+def _env(mapping: dict[str, str | None]):
+    """Temporarily set (value) or unset (None) environment variables."""
+    saved = {key: os.environ.get(key) for key in mapping}
+    for key, value in mapping.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _corpus() -> ObservationMatrix:
+    cfg = KVConfig(
+        num_websites=WEBSITES,
+        items_per_predicate=40,
+        num_systems=12,
+        pages_zipf_exponent=0.9,
+        claims_zipf_exponent=0.9,
+        max_pages_per_site=20,
+        max_claims_per_page=150,
+        max_patterns_per_system=60,
+        broad_pattern_fraction=0.2,
+        narrow_affinity_base=0.004,
+        seed=SEED,
+    )
+    return ObservationMatrix.from_records(
+        record
+        for chunk in iter_kv_record_chunks(cfg)
+        for record in chunk
+    )
+
+
+def _config(**overrides) -> MultiLayerConfig:
+    """Fixed-iteration EM (tolerance 0), so every leg runs the same
+    rounds and the fault plans' round numbers are predictable."""
+    return MultiLayerConfig(
+        engine="numpy",
+        num_shards=NUM_SHARDS,
+        convergence=ConvergenceConfig(
+            max_iterations=MAX_ITERATIONS, tolerance=0.0
+        ),
+        **overrides,
+    )
+
+
+def _timed_fit(cfg: MultiLayerConfig, observations) -> tuple[str, float]:
+    start = time.perf_counter()
+    result = MultiLayerModel(cfg).fit(observations)
+    return result_digest(result), time.perf_counter() - start
+
+
+def _faulted_fit(
+    cfg: MultiLayerConfig,
+    observations,
+    plan: FaultPlan,
+    extra_env: dict[str, str] | None = None,
+) -> tuple[str, float]:
+    env: dict[str, str | None] = dict(FAST_SUPERVISION)
+    env[FAULT_PLAN_ENV] = plan.to_env()
+    if extra_env:
+        env.update(extra_env)
+    with _env(env):
+        return _timed_fit(cfg, observations)
+
+
+def run_fault_recovery_bench() -> tuple[str, dict]:
+    observations = _corpus()
+    serial_digest, serial_wall = _timed_fit(
+        _config(backend="serial"), observations
+    )
+    processes = _config(backend="processes")
+
+    legs: dict[str, dict] = {}
+    for name, plan in [
+        ("processes_clean", FaultPlan()),
+        ("kill_one", FaultPlan(kill_worker=((1, 2),))),
+        ("kill_two", FaultPlan(kill_worker=((1, 2), (0, 3)))),
+        ("straggler", FaultPlan(delay_shard=((0, 3, 0.5),))),
+    ]:
+        digest, wall = _faulted_fit(processes, observations, plan)
+        legs[name] = {
+            "wall_s": wall,
+            "faults": plan.to_env() if not plan.is_empty() else "",
+            "bit_identical": digest == serial_digest,
+        }
+
+    # Retry-budget exhaustion, then resume from the last checkpoint.
+    # Workers 0 and 2/3 (the replacements) all die on shard 0's round-3
+    # task; with 3 attempts and speculation off that is a terminal
+    # ExecError after two complete (checkpointed) iterations.
+    with tempfile.TemporaryDirectory(prefix="kbt-ckpt-") as ckpt_dir:
+        doomed = dataclasses.replace(
+            processes, checkpoint_dir=ckpt_dir, checkpoint_every=1
+        )
+        fatal_plan = FaultPlan(kill_worker=((0, 3), (2, 3), (3, 3)))
+        error = None
+        start = time.perf_counter()
+        try:
+            _faulted_fit(
+                doomed,
+                observations,
+                fatal_plan,
+                extra_env={
+                    "KBT_MAX_SHARD_ATTEMPTS": "3",
+                    "KBT_STRAGGLER_FACTOR": "0",
+                },
+            )
+        except ExecError as err:
+            error = str(err)
+        crash_wall = time.perf_counter() - start
+        ckpt = load_checkpoint(ckpt_dir)
+        resumed = dataclasses.replace(doomed, resume=True)
+        with _env({FAULT_PLAN_ENV: None, **FAST_SUPERVISION}):
+            resume_digest, resume_wall = _timed_fit(resumed, observations)
+        legs["checkpoint_resume"] = {
+            "crash_wall_s": crash_wall,
+            "resume_wall_s": resume_wall,
+            "error_raised": error is not None,
+            "error": (error or "")[:200],
+            "checkpoint_iteration": None if ckpt is None else ckpt.iteration,
+            "bit_identical": resume_digest == serial_digest,
+        }
+
+    rows = [
+        ["records", float(observations.num_records)],
+        ["serial clean fit (s)", serial_wall],
+        ["processes clean fit (s)", legs["processes_clean"]["wall_s"]],
+        ["1 kill, recovered (s)", legs["kill_one"]["wall_s"]],
+        ["2 kills, recovered (s)", legs["kill_two"]["wall_s"]],
+        ["straggler, speculated (s)", legs["straggler"]["wall_s"]],
+        ["crash-to-ExecError (s)", legs["checkpoint_resume"]["crash_wall_s"]],
+        ["resume from checkpoint (s)",
+         legs["checkpoint_resume"]["resume_wall_s"]],
+        ["all legs bit-identical",
+         1.0 if all(leg["bit_identical"] for leg in legs.values()) else 0.0],
+    ]
+    text = format_table(
+        ["Metric", "Value"],
+        rows,
+        title=(
+            "Fault recovery vs fault-free serial baseline "
+            f"({'smoke' if SMOKE else 'full'} corpus)"
+        ),
+        float_format="{:.4g}",
+    )
+    stats = {
+        "corpus": {
+            "records": observations.num_records,
+            "websites": WEBSITES,
+            "num_shards": NUM_SHARDS,
+            "max_iterations": MAX_ITERATIONS,
+        },
+        "serial_clean": {"wall_s": serial_wall, "digest": serial_digest},
+        **legs,
+    }
+    return text, stats
+
+
+def test_bench_fault_recovery(benchmark):
+    text, stats = benchmark.pedantic(
+        run_fault_recovery_bench, rounds=1, iterations=1
+    )
+    save_result("fault_recovery", text)
+    save_stats("faults", stats, scale="smoke" if SMOKE else "full")
+    # The acceptance gates hold at every scale: recovery must be
+    # bit-identical, the fatal kill schedule must actually surface a
+    # terminal error, and the checkpoint it resumes from must exist
+    # with both pre-crash iterations persisted.
+    for leg in ("processes_clean", "kill_one", "kill_two", "straggler",
+                "checkpoint_resume"):
+        assert stats[leg]["bit_identical"], (leg, stats[leg])
+    assert stats["checkpoint_resume"]["error_raised"], stats[
+        "checkpoint_resume"
+    ]
+    assert stats["checkpoint_resume"]["checkpoint_iteration"] == 2, stats[
+        "checkpoint_resume"
+    ]

@@ -59,6 +59,7 @@ from repro.core.config import (
 )
 from repro.core.kbt import FittedKBT, KBTEstimator
 from repro.core.observation import ObservationMatrix
+from repro.exec.backends import ExecError
 from repro.io.artifact import ArtifactError
 from repro.io.jsonl import read_records, write_records
 from repro.io.reports import score_sort_key, write_score_csv
@@ -283,6 +284,29 @@ def _add_exec_options(parser: argparse.ArgumentParser) -> None:
             "materialized at once (LRU; default: all mapped)"
         ),
     )
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help=(
+            "atomically checkpoint the EM state to DIR/checkpoint.npz "
+            "during the fit, so a killed run can continue with --resume "
+            "(implies --backend serial unless one is given)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="K",
+        help=(
+            "with --checkpoint-dir: write a checkpoint every K "
+            "iterations (default: 1, after every iteration)"
+        ),
+    )
+    parser.add_argument(
+        "--resume", action="store_true", default=False,
+        help=(
+            "continue from the checkpoint under --checkpoint-dir if one "
+            "exists; a resumed fit is bit-identical to an uninterrupted "
+            "one"
+        ),
+    )
 
 
 def _add_summary_options(parser: argparse.ArgumentParser) -> None:
@@ -322,6 +346,9 @@ def _build_estimator(args: argparse.Namespace) -> KBTEstimator:
         num_shards=args.shards,
         spill_dir=args.spill_dir,
         max_resident_shards=args.max_resident_shards,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=True if args.resume else None,
     )
 
 
@@ -603,6 +630,9 @@ def run_update(args: argparse.Namespace) -> int:
         num_shards=args.shards,
         spill_dir=args.spill_dir,
         max_resident_shards=args.max_resident_shards,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=True if args.resume else None,
     )
     out_path = args.artifact_out or args.artifact
     updated.save(out_path)
@@ -675,7 +705,12 @@ def main(argv: list[str] | None = None) -> int:
             return run_update(args)
         if args.command == "demo":
             return run_demo(args)
-    except (ArtifactError, SignalError, ValueError) as err:
+    except (ArtifactError, ExecError, SignalError, ValueError) as err:
+        # ExecError covers terminal map-step failures (the message names
+        # the shard, attempt count, and the underlying cause — for a
+        # corrupt spill packet that cause is the one-line SpillError
+        # remedy, not a worker traceback). CheckpointError and SpillError
+        # are ValueErrors, so they land here too.
         print(f"error: {err}", file=sys.stderr)
         return 1
     except BrokenPipeError:

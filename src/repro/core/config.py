@@ -165,6 +165,23 @@ class MultiLayerConfig:
             incremental scoring (``FittedKBT.update``): a converged fit's
             extractor qualities are injected as initial values and held
             fixed while only the source/value layers re-run on the delta.
+        checkpoint_dir: when set, the sharded driver atomically persists
+            the full EM state (theta vectors, posteriors, priors,
+            iteration counter and compatibility digests) to
+            ``checkpoint_dir/checkpoint.npz`` every ``checkpoint_every``
+            iterations and at convergence (:mod:`repro.exec.checkpoint`),
+            so a fit killed mid-run can continue instead of restarting.
+            Requires ``backend``.
+        checkpoint_every: write a checkpoint every this many iterations
+            (default 1: after every reduce). Larger values trade
+            recomputation after a crash for less checkpoint I/O during
+            the fit. Requires ``checkpoint_dir`` to have any effect.
+        resume: continue from the checkpoint under ``checkpoint_dir`` if
+            one exists (a missing checkpoint starts a fresh fit). The
+            checkpoint's problem and model-config digests must match;
+            execution placement (backend, shard count) and the iteration
+            budget may differ. A resumed fit produces bit-identical
+            results to an uninterrupted one. Requires ``checkpoint_dir``.
     """
 
     n: int = 10
@@ -199,6 +216,9 @@ class MultiLayerConfig:
     spill_dir: str | None = None
     max_resident_shards: int | None = None
     freeze_extractor_quality: bool = False
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -234,6 +254,19 @@ class MultiLayerConfig:
                 )
             if self.max_resident_shards < 1:
                 raise ValueError("max_resident_shards must be >= 1")
+        if self.checkpoint_dir is not None and self.backend is None:
+            raise ValueError(
+                "checkpoint_dir (checkpointed fits) only applies to "
+                "sharded execution: set backend to one of "
+                f"{', '.join(registry.backend_names())}"
+            )
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError(
+                "resume only applies to checkpointed fits: set "
+                "checkpoint_dir to the checkpoint directory"
+            )
         if not 0.0 < self.gamma < 1.0:
             raise ValueError("gamma must be in (0, 1)")
         if not 0.0 < self.alpha < 1.0:

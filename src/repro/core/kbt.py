@@ -230,12 +230,16 @@ class FittedKBT:
         num_shards: int | None = None,
         spill_dir: str | None = None,
         max_resident_shards: int | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int | None = None,
+        resume: bool | None = None,
     ) -> "FittedKBT":
         """Fold new extraction records in without a full refit.
 
         ``backend`` / ``num_shards`` / ``spill_dir`` /
-        ``max_resident_shards`` override the sharded execution settings
-        for this update only (see
+        ``max_resident_shards`` / ``checkpoint_dir`` /
+        ``checkpoint_every`` / ``resume`` override the sharded execution
+        settings for this update only (see
         :class:`~repro.core.config.MultiLayerConfig`); by default the
         update runs with the fit's own configuration. Results are
         backend- and residency-invariant either way.
@@ -288,6 +292,9 @@ class FittedKBT:
             or num_shards is not None
             or spill_dir is not None
             or max_resident_shards is not None
+            or checkpoint_dir is not None
+            or checkpoint_every is not None
+            or resume is not None
         ):
             delta_config = replace(
                 delta_config, **_execution_overrides(
@@ -296,6 +303,9 @@ class FittedKBT:
                     num_shards,
                     spill_dir,
                     max_resident_shards,
+                    checkpoint_dir,
+                    checkpoint_every,
+                    resume,
                 )
             )
         delta_result = MultiLayerModel(delta_config).fit(
@@ -467,6 +477,16 @@ class KBTEstimator:
         max_resident_shards: when given, overrides
             ``config.max_resident_shards`` (requires a spill dir): the
             LRU cap on concurrently materialized packets.
+        checkpoint_dir: when given, overrides ``config.checkpoint_dir``
+            — the fit atomically checkpoints its EM state there
+            (:mod:`repro.exec.checkpoint`) so a killed run can resume.
+            A backend-less config is upgraded to ``backend="serial"``.
+        checkpoint_every: when given, overrides
+            ``config.checkpoint_every``: iterations between checkpoint
+            writes.
+        resume: when given, overrides ``config.resume``: continue from
+            the checkpoint under ``checkpoint_dir`` (bit-identical to an
+            uninterrupted fit).
     """
 
     def __init__(
@@ -480,6 +500,9 @@ class KBTEstimator:
         num_shards: int | None = None,
         spill_dir: str | None = None,
         max_resident_shards: int | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int | None = None,
+        resume: bool | None = None,
     ) -> None:
         if min_triples < 0:
             raise ValueError(f"min_triples must be >= 0, got {min_triples}")
@@ -491,6 +514,9 @@ class KBTEstimator:
             or num_shards is not None
             or spill_dir is not None
             or max_resident_shards is not None
+            or checkpoint_dir is not None
+            or checkpoint_every is not None
+            or resume is not None
         ):
             overrides = _execution_overrides(
                 self._config,
@@ -498,6 +524,9 @@ class KBTEstimator:
                 num_shards,
                 spill_dir,
                 max_resident_shards,
+                checkpoint_dir,
+                checkpoint_every,
+                resume,
             )
             if engine is not None:
                 # The caller pinned the engine explicitly: no silent
@@ -617,6 +646,9 @@ def _execution_overrides(
     num_shards: int | None,
     spill_dir: str | None = None,
     max_resident_shards: int | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int | None = None,
+    resume: bool | None = None,
 ) -> dict:
     """Config overrides for an execution backend / shard-count request.
 
@@ -624,15 +656,18 @@ def _execution_overrides(
     requesting a backend on a (default) python-engine config upgrades the
     engine too — the results are bit-identical to the numpy engine and
     within 1e-9 of the python engine either way. Likewise, requesting a
-    spill directory (out-of-core streaming) on a backend-less config
-    upgrades the backend to ``serial``, since out-of-core execution runs
-    through the sharded driver. An explicit ``engine="python"`` together
-    with a backend is rejected by ``MultiLayerConfig`` validation.
+    spill directory (out-of-core streaming) or a checkpoint directory on
+    a backend-less config upgrades the backend to ``serial``, since both
+    run through the sharded driver. An explicit ``engine="python"``
+    together with a backend is rejected by ``MultiLayerConfig``
+    validation.
     """
     overrides: dict = {}
     if backend is not None:
         overrides["backend"] = backend
-    elif spill_dir is not None and config.backend is None:
+    elif (
+        spill_dir is not None or checkpoint_dir is not None
+    ) and config.backend is None:
         overrides["backend"] = "serial"
     if "backend" in overrides and config.engine == "python":
         overrides["engine"] = "numpy"
@@ -642,6 +677,12 @@ def _execution_overrides(
         overrides["spill_dir"] = spill_dir
     if max_resident_shards is not None:
         overrides["max_resident_shards"] = max_resident_shards
+    if checkpoint_dir is not None:
+        overrides["checkpoint_dir"] = checkpoint_dir
+    if checkpoint_every is not None:
+        overrides["checkpoint_every"] = checkpoint_every
+    if resume is not None:
+        overrides["resume"] = resume
     return overrides
 
 

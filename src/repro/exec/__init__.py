@@ -20,16 +20,28 @@ API instead of a simulation:
   views (:class:`~repro.exec.spill.OutOfCoreShardSource`), bounding peak
   memory by one packet plus the parameter vectors — the single-machine
   analogue of the paper's "no worker holds the corpus" MapReduce
-  property.
+  property;
+* the subsystem is **fault tolerant**: the ``processes`` backend
+  supervises its workers (crash detection, retry with backoff,
+  replacement spawning, straggler speculation — terminal failures raise
+  :class:`~repro.exec.backends.ExecError`), ``checkpoint_dir`` persists
+  the EM state atomically every ``checkpoint_every`` iterations
+  (:mod:`repro.exec.checkpoint`) so a killed fit resumes with
+  ``resume=True`` to bit-identical results, and
+  :class:`~repro.exec.faults.FaultPlan` injects deterministic failures
+  for tests and benchmarks.
 
 Select it high-level via ``MultiLayerConfig(engine="numpy",
 backend="processes", num_shards=8)`` (plus ``spill_dir`` /
-``max_resident_shards`` for out-of-core), ``KBTEstimator(backend=...)``
-or the CLI ``--backend/--shards/--spill-dir`` flags; new backends
+``max_resident_shards`` for out-of-core and ``checkpoint_dir`` /
+``checkpoint_every`` / ``resume`` for crash recovery),
+``KBTEstimator(backend=...)`` or the CLI
+``--backend/--shards/--spill-dir/--checkpoint-dir`` flags; new backends
 register through :func:`repro.core.registry.register_backend`.
 """
 
 from repro.exec.backends import (
+    ExecError,
     ExecutionBackend,
     ExecutionSession,
     ProcessBackend,
@@ -37,7 +49,14 @@ from repro.exec.backends import (
     ShardSource,
     ThreadBackend,
 )
+from repro.exec.checkpoint import (
+    CheckpointError,
+    FitCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.exec.driver import fit_sharded
+from repro.exec.faults import FaultPlan
 from repro.exec.plan import Shard, ShardPlan, StageStats
 from repro.exec.spill import (
     OutOfCoreShardSource,
@@ -50,13 +69,18 @@ from repro.exec.worker import (
     IterationParams,
     ShardState,
     finalize_shard,
+    rebuild_state,
     run_shard_iteration,
 )
 
 __all__ = [
+    "CheckpointError",
+    "ExecError",
     "ExecutionBackend",
     "ExecutionSession",
+    "FaultPlan",
     "FinalizeParams",
+    "FitCheckpoint",
     "IterationParams",
     "OutOfCoreShardSource",
     "ProcessBackend",
@@ -70,7 +94,10 @@ __all__ = [
     "ThreadBackend",
     "finalize_shard",
     "fit_sharded",
+    "load_checkpoint",
     "persist_plan",
+    "rebuild_state",
     "run_shard_iteration",
+    "save_checkpoint",
     "spill_problem_arrays",
 ]

@@ -19,6 +19,22 @@ reduce scans (:func:`~repro.exec.spill.spill_problem_arrays`) and
 releases their pages after every iteration, so the driver's anonymous
 working set stays bounded by the parameter/posterior vectors while the
 corpus itself lives in evictable file-backed pages.
+
+Fault tolerance hooks into the loop in two places:
+
+* With ``MultiLayerConfig.checkpoint_dir`` set, the driver persists the
+  full EM state every ``checkpoint_every`` iterations (and always at
+  convergence / budget exhaustion) via :mod:`repro.exec.checkpoint`;
+  ``resume=True`` restarts a crashed fit from the last checkpoint and
+  continues to bit-identical final results.
+* Whenever checkpointing is on or the session supervises workers
+  (``set_restore_state``), the driver maintains a global **restore
+  snapshot** — the priors/posterior any shard state can be rebuilt from
+  mid-fit. The priors half replays the workers' deferred Eq. 26 pass
+  globally (:func:`_global_prior_update`), with the same elementwise /
+  gather / contiguous-``reduceat`` expressions the shards use, so the
+  replayed vector is bit-identical to the concatenation of the per-shard
+  updates.
 """
 
 from __future__ import annotations
@@ -106,9 +122,63 @@ def fit_sharded(
     posterior = np.zeros(source.num_triples)
     priors: np.ndarray | None = None
 
+    checkpointing = cfg.checkpoint_dir is not None
+    expected_problem = expected_config = None
+    ckpt = None
+    if checkpointing:
+        from repro.exec.checkpoint import (
+            apply_checkpoint,
+            config_digest,
+            load_checkpoint,
+            problem_digest,
+            save_checkpoint,
+        )
+
+        expected_problem = problem_digest(prob)
+        expected_config = config_digest(cfg)
+        if cfg.resume:
+            ckpt = load_checkpoint(cfg.checkpoint_dir)
+
+    start_iteration = 1
     with backend_cls().open(source, cfg) as session:
-        last_iteration = 0
-        for iteration in range(1, cfg.convergence.max_iterations + 1):
+        set_restore = getattr(session, "set_restore_state", None)
+        # The restore snapshot is needed whenever a shard state may have
+        # to be rebuilt mid-fit: for checkpoints, and for sessions that
+        # supervise workers (replacement workers restore from it).
+        track_state = checkpointing or set_restore is not None
+        restore_priors = restore_posterior = None
+        if track_state:
+            restore_priors = np.full(source.num_coords, cfg.alpha)
+            restore_posterior = np.zeros(source.num_triples)
+
+        if ckpt is not None:
+            ckpt.validate(
+                expected_problem, expected_config, cfg.checkpoint_dir
+            )
+            history = apply_checkpoint(ckpt, params, p_correct, posterior)
+            start_iteration = ckpt.iteration + 1
+            restore_priors = np.array(ckpt.priors, dtype=np.float64)
+            restore_posterior = posterior.copy()
+            session_restore = getattr(session, "restore", None)
+            if session_restore is None:
+                raise ValueError(
+                    f"backend {cfg.backend!r} does not support resuming "
+                    "from a checkpoint"
+                )
+            session_restore(restore_priors, restore_posterior)
+
+        last_iteration = start_iteration - 1
+        # A checkpoint written at convergence resumes as a no-op loop:
+        # the restored history already satisfies the stopping rule.
+        already_converged = bool(history) and (
+            history[-1].max_delta < cfg.convergence.tolerance
+        )
+        iterations = (
+            ()
+            if already_converged
+            else range(start_iteration, cfg.convergence.max_iterations + 1)
+        )
+        for iteration in iterations:
             last_iteration = iteration
             pre_vote, abs_vote, base_absence, source_vote = iteration_inputs(
                 cfg, prob, params
@@ -130,7 +200,21 @@ def fit_sharded(
                 base_absence=base_absence,
                 source_vote=source_vote,
             )
+            if set_restore is not None:
+                # End-of-previous-round snapshot: a task re-dispatched
+                # during this round rebuilds its state from these and
+                # re-runs the (pure, idempotent) map step.
+                set_restore(restore_priors, restore_posterior)
             session.run_iteration(it_params, p_correct, posterior)
+            if track_state:
+                if it_params.do_prior_update:
+                    # Replay the deferred pass the workers just ran, with
+                    # the pre-reduce accuracy and the previous round's
+                    # posterior — bit-identical to the per-shard updates.
+                    restore_priors = _global_prior_update(
+                        cfg, prob, restore_posterior, params.accuracy
+                    )
+                restore_posterior = posterior.copy()
 
             accuracy_delta, extractor_delta = update_parameters(
                 cfg, prob, params, p_correct, posterior
@@ -143,13 +227,32 @@ def fit_sharded(
                 # arrays; release their pages so the resident set stays
                 # bounded instead of accumulating the whole corpus.
                 release_problem_pages(prob)
-            if (
+            hit_tolerance = (
                 max(accuracy_delta, extractor_delta)
                 < cfg.convergence.tolerance
+            )
+            if checkpointing and (
+                iteration % cfg.checkpoint_every == 0
+                or hit_tolerance
+                or iteration == cfg.convergence.max_iterations
             ):
+                save_checkpoint(
+                    cfg.checkpoint_dir,
+                    iteration=iteration,
+                    params=params,
+                    p_correct=p_correct,
+                    posterior=posterior,
+                    priors=restore_priors,
+                    history=history,
+                    problem_digest=expected_problem,
+                    config_digest=expected_config,
+                )
+            if hit_tolerance:
                 break
 
         do_final = _prior_update_due(cfg, last_iteration)
+        if set_restore is not None:
+            set_restore(restore_priors, restore_posterior)
         final = session.finalize(
             FinalizeParams(
                 do_prior_update=do_final,
@@ -161,6 +264,51 @@ def fit_sharded(
 
     return assemble_result(
         prob, observations, p_correct, posterior, params, priors, history
+    )
+
+
+def _global_prior_update(
+    cfg: MultiLayerConfig,
+    prob: CompiledProblem,
+    posterior: np.ndarray,
+    accuracy: np.ndarray,
+) -> np.ndarray:
+    """The deferred Eq. 26 pass over *all* coordinates at once.
+
+    Mirrors :func:`repro.exec.worker._update_shard_priors` (and the
+    residual recomputation of :func:`repro.exec.worker.rebuild_state`)
+    expression by expression. Every operation is elementwise, a gather,
+    or a ``reduceat`` over the same contiguous segments the shards own,
+    so the result is bit-identical to concatenating the per-shard
+    updates — the property that lets the driver keep a restore snapshot
+    (and write checkpoints) without ever reading worker state back.
+    """
+    num_unobserved = np.maximum(
+        cfg.n + 1 - prob.item_num_values, 0
+    ).astype(np.float64)
+    if prob.num_items:
+        starts = prob.item_ptr[:-1]
+        posterior_mass = np.add.reduceat(posterior, starts)
+        residual = np.where(
+            num_unobserved > 0.0,
+            np.maximum(1.0 - posterior_mass, 0.0)
+            / np.maximum(num_unobserved, 1.0),
+            0.0,
+        )
+    else:
+        residual = np.zeros(0)
+    p_true = np.zeros(prob.num_coords)
+    has_triple = prob.coord_triple >= 0
+    if posterior.size:
+        p_true[has_triple] = posterior[prob.coord_triple[has_triple]]
+    has_item = ~has_triple & (prob.coord_item >= 0)
+    if residual.size:
+        p_true[has_item] = residual[prob.coord_item[has_item]]
+    source_accuracy = accuracy[prob.coord_source]
+    return np.clip(
+        p_true * source_accuracy + (1.0 - p_true) * (1.0 - source_accuracy),
+        cfg.prior_floor,
+        cfg.prior_ceiling,
     )
 
 

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import json
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import fields as dataclass_fields
 from dataclasses import replace
@@ -55,6 +56,7 @@ import numpy as np
 
 from repro.core.indexing import CompiledProblem
 from repro.exec.plan import Shard, ShardPlan, StageStats
+from repro.io.atomic import atomic_write
 
 #: Format identifier + version written to (and required from) manifests.
 SPILL_FORMAT = "kbt-shard-spill"
@@ -151,9 +153,8 @@ def persist_plan(plan: ShardPlan, directory: str | Path) -> Path:
         },
         "shards": shard_entries,
     }
-    manifest_path.write_text(
-        json.dumps(manifest, indent=1) + "\n", encoding="utf-8"
-    )
+    with atomic_write(manifest_path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(manifest, indent=1) + "\n")
     return manifest_path
 
 
@@ -203,7 +204,11 @@ def advise_dontneed(*arrays: np.ndarray | None) -> None:
     (``MADV_DONTNEED``), dropping them from the resident set immediately
     instead of waiting for memory pressure. A no-op for resident arrays
     and on platforms without ``madvise``; correctness never depends on
-    it — evicted pages simply fault back in from the file.
+    it — evicted pages simply fault back in from the file. A *failing*
+    ``madvise`` is still worth hearing about, though: it means the eager
+    release the out-of-core mode promises is silently not happening, so
+    the resident set will grow — it surfaces as a ``RuntimeWarning``
+    naming the mapped file and errno rather than an exception.
     """
     import mmap as _mmap
 
@@ -215,8 +220,16 @@ def advise_dontneed(*arrays: np.ndarray | None) -> None:
             continue
         try:
             mapping.madvise(_mmap.MADV_DONTNEED)
-        except (ValueError, OSError):  # pragma: no cover - defensive
-            pass
+        except (ValueError, OSError) as err:
+            path = getattr(array, "filename", None) or "<anonymous mapping>"
+            errno = getattr(err, "errno", None)
+            warnings.warn(
+                f"madvise(MADV_DONTNEED) failed for {path}"
+                f" (errno={errno}): {err}; mapped pages will stay "
+                "resident until the kernel evicts them",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
 
 def release_problem_pages(prob: CompiledProblem) -> None:

@@ -83,6 +83,47 @@ class ShardState:
         )
 
 
+def rebuild_state(
+    shard: Shard,
+    cfg: MultiLayerConfig,
+    priors: np.ndarray,
+    posterior: np.ndarray,
+) -> ShardState:
+    """Reconstruct a shard's state from globally persisted vectors.
+
+    Inputs are the shard's slices of the end-of-round *global* priors
+    and value posteriors (a checkpoint, or the driver's restore
+    snapshot). The residual mass is a pure function of the posterior and
+    the shard's static item arrays; recomputing it here with the exact
+    expressions of :func:`run_shard_iteration` makes the rebuilt state
+    bit-identical to the one that was lost — the property both
+    checkpoint resume and mid-fit shard re-dispatch rest on.
+
+    Before any round has run the residual it derives from an all-zero
+    posterior is not the initial all-zero residual — harmless, because
+    round 1 never reads posterior/residual (the deferred Eq. 26 pass is
+    not due before iteration 2) and overwrites both.
+    """
+    posterior = np.array(posterior, dtype=np.float64)
+    if shard.num_items:
+        starts = shard.item_ptr[:-1]
+        posterior_mass = np.add.reduceat(posterior, starts)
+        residual = np.where(
+            shard.num_unobserved > 0.0,
+            np.maximum(1.0 - posterior_mass, 0.0)
+            / np.maximum(shard.num_unobserved, 1.0),
+            0.0,
+        )
+    else:
+        posterior = np.zeros(0)
+        residual = np.zeros(0)
+    return ShardState(
+        priors=np.array(priors, dtype=np.float64),
+        posterior=posterior,
+        residual=residual,
+    )
+
+
 def run_shard_iteration(
     shard: Shard,
     cfg: MultiLayerConfig,

@@ -1,0 +1,51 @@
+"""Crash-safe file writes: temp-file-then-rename in the target directory.
+
+Both durable on-disk formats of the execution layer use this idiom — the
+out-of-core spill manifest (:mod:`repro.exec.spill`) and the fit
+checkpoint (:mod:`repro.exec.checkpoint`): bytes go to a temporary file
+in the *same* directory (so the final ``rename`` stays within one
+filesystem and is atomic), the file is flushed and fsynced, and only a
+cleanly completed write is renamed over the target. A reader therefore
+observes either the previous complete file or the new complete file,
+never a torn one; a crash mid-write leaves the target untouched.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from collections.abc import Iterator
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO
+
+
+@contextmanager
+def atomic_write(
+    path: str | Path, mode: str = "wb", encoding: str | None = None
+) -> Iterator[IO]:
+    """Open a temp file that replaces ``path`` atomically on clean exit.
+
+    ``mode`` must be a write mode (``"wb"`` or ``"w"``); pass
+    ``encoding`` for text mode. If the with-block raises, the temp file
+    is removed and ``path`` keeps its previous content (or absence).
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode, encoding=encoding) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already renamed/removed
+            pass
+        raise
+
+
+__all__ = ["atomic_write"]
