@@ -202,6 +202,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_options(update)
     _add_summary_options(update)
 
+    worker = sub.add_parser(
+        "worker",
+        help="serve shard map steps for a remote-backend coordinator",
+    )
+    worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help=(
+            "the coordinator's --remote-endpoint address; the worker "
+            "connects there, registers, and serves map steps until the "
+            "coordinator sends stop"
+        ),
+    )
+    worker.add_argument(
+        "--retry-interval", type=float, default=1.0, metavar="S",
+        help=(
+            "seconds between reconnect attempts when the coordinator is "
+            "unreachable or the connection drops (default 1.0)"
+        ),
+    )
+    worker.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help=(
+            "give up after N consecutive failed connection attempts "
+            "(default: retry forever, so workers may be started before "
+            "the coordinator)"
+        ),
+    )
+
     demo = sub.add_parser(
         "demo", help="generate a synthetic corpus as JSONL"
     )
@@ -307,6 +335,24 @@ def _add_exec_options(parser: argparse.ArgumentParser) -> None:
             "one"
         ),
     )
+    parser.add_argument(
+        "--remote-endpoint", default=None, metavar="HOST:PORT",
+        help=(
+            "run distributed: listen on HOST:PORT as the coordinator and "
+            "dispatch shard map steps to workers started with "
+            "'kbt worker --connect HOST:PORT' (implies --backend remote "
+            "unless one is given; results stay bit-identical for any "
+            "worker count)"
+        ),
+    )
+    parser.add_argument(
+        "--num-workers", type=int, default=None, metavar="N",
+        help=(
+            "with --remote-endpoint: wait for N workers to register "
+            "before the fit starts (default 1; late joiners are still "
+            "used for re-dispatch and speculation)"
+        ),
+    )
 
 
 def _add_summary_options(parser: argparse.ArgumentParser) -> None:
@@ -349,6 +395,8 @@ def _build_estimator(args: argparse.Namespace) -> KBTEstimator:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         resume=True if args.resume else None,
+        remote_endpoint=args.remote_endpoint,
+        num_workers=args.num_workers,
     )
 
 
@@ -633,6 +681,8 @@ def run_update(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         resume=True if args.resume else None,
+        remote_endpoint=args.remote_endpoint,
+        num_workers=args.num_workers,
     )
     out_path = args.artifact_out or args.artifact
     updated.save(out_path)
@@ -646,6 +696,16 @@ def run_update(args: argparse.Namespace) -> int:
     # summary is a warning, not a failure.
     _print_summary(updated, updated.observations.num_records, args)
     return 0
+
+
+def run_worker(args: argparse.Namespace) -> int:
+    from repro.exec.remote import run_worker
+
+    return run_worker(
+        args.connect,
+        retry_interval=args.retry_interval,
+        max_retries=args.max_retries,
+    )
 
 
 def run_demo(args: argparse.Namespace) -> int:
@@ -703,6 +763,8 @@ def main(argv: list[str] | None = None) -> int:
             return run_serve(args)
         if args.command == "update":
             return run_update(args)
+        if args.command == "worker":
+            return run_worker(args)
         if args.command == "demo":
             return run_demo(args)
     except (ArtifactError, ExecError, SignalError, ValueError) as err:

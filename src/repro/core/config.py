@@ -14,6 +14,33 @@ from dataclasses import dataclass
 from repro.core import registry
 
 
+def parse_remote_endpoint(endpoint: str) -> tuple[str, int]:
+    """Validate and split a ``"HOST:PORT"`` remote-execution endpoint.
+
+    Returns ``(host, port)``; raises ``ValueError`` naming the defect
+    for anything else (no colon, empty host, non-numeric or
+    out-of-range port). IPv6 literals use the last colon as the
+    separator, so ``::1:7471`` parses as host ``::1``.
+    """
+    host, sep, port_text = endpoint.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"remote_endpoint must be 'HOST:PORT', got {endpoint!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"remote_endpoint port must be an integer, got "
+            f"{port_text!r} in {endpoint!r}"
+        ) from None
+    if not 1 <= port <= 65535:
+        raise ValueError(
+            f"remote_endpoint port must be in 1..65535, got {port}"
+        )
+    return host, port
+
+
 class FalseValueModel(enum.Enum):
     """How the probability mass over false values is distributed (Eq. 1).
 
@@ -182,6 +209,15 @@ class MultiLayerConfig:
             execution placement (backend, shard count) and the iteration
             budget may differ. A resumed fit produces bit-identical
             results to an uninterrupted one. Requires ``checkpoint_dir``.
+        remote_endpoint: the ``"HOST:PORT"`` the ``remote`` backend's
+            coordinator listens on; workers join with ``kbt worker
+            --connect HOST:PORT`` (:mod:`repro.exec.remote`). Results
+            are bit-identical to every other backend for any worker
+            count. Required by, and only valid with, ``backend="remote"``.
+        num_workers: how many registered workers the remote coordinator
+            waits for before dispatching round 1 (default 1); workers
+            joining later are still used for re-dispatch and
+            speculation. Requires ``backend="remote"``.
     """
 
     n: int = 10
@@ -219,6 +255,14 @@ class MultiLayerConfig:
     checkpoint_dir: str | None = None
     checkpoint_every: int = 1
     resume: bool = False
+    #: ``"HOST:PORT"`` the ``remote`` backend's coordinator listens on
+    #: (workers connect with ``kbt worker --connect HOST:PORT``).
+    #: Required by — and only meaningful with — ``backend="remote"``.
+    remote_endpoint: str | None = None
+    #: Workers the remote coordinator waits for before the fit starts
+    #: (default 1). Late joiners are still accepted mid-fit as
+    #: speculation and re-dispatch targets. Requires ``backend="remote"``.
+    num_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -267,6 +311,27 @@ class MultiLayerConfig:
                 "resume only applies to checkpointed fits: set "
                 "checkpoint_dir to the checkpoint directory"
             )
+        if self.backend == "remote" and self.remote_endpoint is None:
+            raise ValueError(
+                'backend="remote" needs remote_endpoint: set it to the '
+                "'HOST:PORT' the coordinator should listen on (workers "
+                "connect with 'kbt worker --connect HOST:PORT')"
+            )
+        if self.remote_endpoint is not None:
+            if self.backend != "remote":
+                raise ValueError(
+                    "remote_endpoint only applies to distributed "
+                    'execution: set backend="remote"'
+                )
+            parse_remote_endpoint(self.remote_endpoint)
+        if self.num_workers is not None:
+            if self.backend != "remote":
+                raise ValueError(
+                    "num_workers only applies to distributed execution: "
+                    'set backend="remote"'
+                )
+            if self.num_workers < 1:
+                raise ValueError("num_workers must be >= 1")
         if not 0.0 < self.gamma < 1.0:
             raise ValueError("gamma must be in (0, 1)")
         if not 0.0 < self.alpha < 1.0:

@@ -74,6 +74,39 @@ def _log_odds(p: np.ndarray, floor: float = PROB_FLOOR) -> np.ndarray:
     return np.log(p) - np.log(1.0 - p)
 
 
+def _seeded_vcc(
+    base: np.ndarray | float,
+    entry_coord: np.ndarray,
+    entry_weights: np.ndarray,
+    num_coords: int,
+) -> np.ndarray:
+    """C-step vote counts accumulated in the reference engine's order.
+
+    The scalar engine computes VCC' as ``((absence_total + w_1) + w_2) +
+    ...`` — the absence total seeds the accumulator before any entry vote
+    is added. ``base + np.bincount(...)`` associates the other way round,
+    and when the votes cancel to within one ULP of zero the two orders
+    land on opposite sides of the theta_1 MAP cutoff (``p >= 0.5``),
+    which the M steps then amplify into a macroscopic posterior
+    divergence. ``bincount`` adds its weights sequentially in array
+    order, so prepending one seed entry per coordinate reproduces the
+    reference association order exactly: seed first, then the entries in
+    cell order.
+    """
+    return np.bincount(
+        np.concatenate((np.arange(num_coords), entry_coord)),
+        weights=np.concatenate(
+            (
+                np.broadcast_to(
+                    np.asarray(base, dtype=np.float64), num_coords
+                ),
+                entry_weights,
+            )
+        ),
+        minlength=num_coords,
+    )
+
+
 @dataclass
 class ParamState:
     """Mutable model parameters shared by the engine and the sharded driver.
@@ -378,11 +411,11 @@ def fit_numpy(
             base = base_absence[prob.coord_source]
         else:
             base = base_absence
-        vcc = base + np.bincount(
+        vcc = _seeded_vcc(
+            base,
             prob.entry_coord,
-            weights=prob.entry_conf
-            * (pre_vote - abs_vote)[prob.entry_col],
-            minlength=n_coords,
+            prob.entry_conf * (pre_vote - abs_vote)[prob.entry_col],
+            n_coords,
         )
         p_correct = _sigmoid(vcc + _log_odds(priors))
 

@@ -233,12 +233,15 @@ class FittedKBT:
         checkpoint_dir: str | None = None,
         checkpoint_every: int | None = None,
         resume: bool | None = None,
+        remote_endpoint: str | None = None,
+        num_workers: int | None = None,
     ) -> "FittedKBT":
         """Fold new extraction records in without a full refit.
 
         ``backend`` / ``num_shards`` / ``spill_dir`` /
         ``max_resident_shards`` / ``checkpoint_dir`` /
-        ``checkpoint_every`` / ``resume`` override the sharded execution
+        ``checkpoint_every`` / ``resume`` / ``remote_endpoint`` /
+        ``num_workers`` override the sharded execution
         settings for this update only (see
         :class:`~repro.core.config.MultiLayerConfig`); by default the
         update runs with the fit's own configuration. Results are
@@ -295,6 +298,8 @@ class FittedKBT:
             or checkpoint_dir is not None
             or checkpoint_every is not None
             or resume is not None
+            or remote_endpoint is not None
+            or num_workers is not None
         ):
             delta_config = replace(
                 delta_config, **_execution_overrides(
@@ -306,6 +311,8 @@ class FittedKBT:
                     checkpoint_dir,
                     checkpoint_every,
                     resume,
+                    remote_endpoint,
+                    num_workers,
                 )
             )
         delta_result = MultiLayerModel(delta_config).fit(
@@ -487,6 +494,14 @@ class KBTEstimator:
         resume: when given, overrides ``config.resume``: continue from
             the checkpoint under ``checkpoint_dir`` (bit-identical to an
             uninterrupted fit).
+        remote_endpoint: when given, overrides
+            ``config.remote_endpoint`` — the ``HOST:PORT`` the
+            distributed coordinator listens on (workers join with
+            ``kbt worker --connect HOST:PORT``). A backend-less config
+            is upgraded to ``backend="remote"``.
+        num_workers: when given, overrides ``config.num_workers``: how
+            many workers the remote coordinator waits for before the
+            fit starts.
     """
 
     def __init__(
@@ -503,6 +518,8 @@ class KBTEstimator:
         checkpoint_dir: str | None = None,
         checkpoint_every: int | None = None,
         resume: bool | None = None,
+        remote_endpoint: str | None = None,
+        num_workers: int | None = None,
     ) -> None:
         if min_triples < 0:
             raise ValueError(f"min_triples must be >= 0, got {min_triples}")
@@ -517,6 +534,8 @@ class KBTEstimator:
             or checkpoint_dir is not None
             or checkpoint_every is not None
             or resume is not None
+            or remote_endpoint is not None
+            or num_workers is not None
         ):
             overrides = _execution_overrides(
                 self._config,
@@ -527,6 +546,8 @@ class KBTEstimator:
                 checkpoint_dir,
                 checkpoint_every,
                 resume,
+                remote_endpoint,
+                num_workers,
             )
             if engine is not None:
                 # The caller pinned the engine explicitly: no silent
@@ -649,6 +670,8 @@ def _execution_overrides(
     checkpoint_dir: str | None = None,
     checkpoint_every: int | None = None,
     resume: bool | None = None,
+    remote_endpoint: str | None = None,
+    num_workers: int | None = None,
 ) -> dict:
     """Config overrides for an execution backend / shard-count request.
 
@@ -657,14 +680,16 @@ def _execution_overrides(
     engine too — the results are bit-identical to the numpy engine and
     within 1e-9 of the python engine either way. Likewise, requesting a
     spill directory (out-of-core streaming) or a checkpoint directory on
-    a backend-less config upgrades the backend to ``serial``, since both
-    run through the sharded driver. An explicit ``engine="python"``
-    together with a backend is rejected by ``MultiLayerConfig``
-    validation.
+    a backend-less config upgrades the backend to ``serial``, and a
+    coordinator endpoint upgrades it to ``remote`` — all of these run
+    through the sharded driver. An explicit ``engine="python"`` together
+    with a backend is rejected by ``MultiLayerConfig`` validation.
     """
     overrides: dict = {}
     if backend is not None:
         overrides["backend"] = backend
+    elif remote_endpoint is not None and config.backend is None:
+        overrides["backend"] = "remote"
     elif (
         spill_dir is not None or checkpoint_dir is not None
     ) and config.backend is None:
@@ -683,6 +708,10 @@ def _execution_overrides(
         overrides["checkpoint_every"] = checkpoint_every
     if resume is not None:
         overrides["resume"] = resume
+    if remote_endpoint is not None:
+        overrides["remote_endpoint"] = remote_endpoint
+    if num_workers is not None:
+        overrides["num_workers"] = num_workers
     return overrides
 
 

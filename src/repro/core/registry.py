@@ -139,3 +139,8 @@ register_backend(
     "sharded execution over worker processes with shared-memory buffers",
     "repro.exec.backends:ProcessBackend",
 )
+register_backend(
+    "remote",
+    "distributed execution over TCP (coordinator + kbt worker fleet)",
+    "repro.exec.remote:RemoteBackend",
+)

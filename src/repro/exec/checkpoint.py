@@ -70,6 +70,8 @@ _EXECUTION_FIELDS = frozenset(
         "checkpoint_dir",
         "checkpoint_every",
         "resume",
+        "remote_endpoint",
+        "num_workers",
         "convergence",
     }
 )

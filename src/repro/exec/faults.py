@@ -34,6 +34,16 @@ Fault kinds:
 * ``hang_worker`` — ``[worker, ...]``: the worker ignores the shutdown
   message and sleeps instead, exercising the session teardown
   escalation ladder (join -> terminate -> kill).
+* ``drop_connection`` — ``[worker, round]``: a *remote* worker
+  (:mod:`repro.exec.remote`) abruptly closes its TCP connection when it
+  receives a task of that round, then re-enters its reconnect loop. The
+  coordinator sees a dead connection mid-round; the reconnected worker
+  registers under a fresh index, so the fault fires exactly once.
+* ``corrupt_frame`` — ``[worker, round]``: a remote worker flips bytes
+  of a result frame's blob *after* computing its digest, so the frame
+  arrives with a sha256 mismatch. The coordinator must treat the
+  connection as corrupt (once one frame is torn, the stream offsets are
+  untrustworthy) and recover exactly as for a dead connection.
 """
 
 from __future__ import annotations
@@ -58,6 +68,10 @@ class FaultPlan:
     corrupt_packet: tuple[tuple[int, int, int], ...] = ()
     #: Worker indices that ignore the stop message (teardown tests).
     hang_worker: tuple[int, ...] = ()
+    #: ``(worker_index, round)``: remote worker drops its connection.
+    drop_connection: tuple[tuple[int, int], ...] = ()
+    #: ``(worker_index, round)``: remote worker corrupts a result frame.
+    corrupt_frame: tuple[tuple[int, int], ...] = ()
 
     def is_empty(self) -> bool:
         return not (
@@ -65,6 +79,8 @@ class FaultPlan:
             or self.delay_shard
             or self.corrupt_packet
             or self.hang_worker
+            or self.drop_connection
+            or self.corrupt_frame
         )
 
     # ------------------------------------------------------------------
@@ -93,6 +109,12 @@ class FaultPlan:
 
     def hangs_on_stop(self, worker_index: int) -> bool:
         return worker_index in self.hang_worker
+
+    def drops_connection(self, worker_index: int, round_id: int) -> bool:
+        return (worker_index, round_id) in self.drop_connection
+
+    def corrupts_frame(self, worker_index: int, round_id: int) -> bool:
+        return (worker_index, round_id) in self.corrupt_frame
 
     # ------------------------------------------------------------------
     # Environment round trip
@@ -155,6 +177,14 @@ class FaultPlan:
                 ),
                 hang_worker=tuple(
                     int(w) for w in data.get("hang_worker", ())
+                ),
+                drop_connection=tuple(
+                    (int(w), int(r))
+                    for w, r in data.get("drop_connection", ())
+                ),
+                corrupt_frame=tuple(
+                    (int(w), int(r))
+                    for w, r in data.get("corrupt_frame", ())
                 ),
             )
         except (TypeError, ValueError) as err:

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import AbsenceScope, MultiLayerConfig
-from repro.core.engine_numpy import _log_odds, _sigmoid
+from repro.core.engine_numpy import _log_odds, _seeded_vcc, _sigmoid
 from repro.exec.plan import Shard
 
 
@@ -144,11 +144,12 @@ def run_shard_iteration(
         base = params.base_absence[shard.coord_source]
     else:
         base = params.base_absence
-    vcc = base + np.bincount(
+    vcc = _seeded_vcc(
+        base,
         shard.entry_coord,
-        weights=shard.entry_conf
+        shard.entry_conf
         * (params.pre_vote - params.abs_vote)[shard.entry_col],
-        minlength=shard.num_coords,
+        shard.num_coords,
     )
     p_correct = _sigmoid(vcc + _log_odds(state.priors))
 

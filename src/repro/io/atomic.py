@@ -8,6 +8,13 @@ filesystem and is atomic), the file is flushed and fsynced, and only a
 cleanly completed write is renamed over the target. A reader therefore
 observes either the previous complete file or the new complete file,
 never a torn one; a crash mid-write leaves the target untouched.
+
+The rename itself lives in the parent directory's entry table, which has
+its own durability: without an fsync of the directory, a power loss
+after ``os.replace`` can roll the rename back even though the file data
+hit the platter, leaving the old (or no) manifest next to new shard
+files. ``atomic_write`` therefore fsyncs the parent directory after the
+rename, making the idiom power-loss-safe, not just crash-safe.
 """
 
 from __future__ import annotations
@@ -40,12 +47,29 @@ def atomic_write(
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        _fsync_dir(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)
         except OSError:  # pragma: no cover - already renamed/removed
             pass
         raise
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush ``directory``'s entry table so a completed rename survives
+    power loss. Directories cannot be fsynced on every platform (notably
+    Windows); there the rename is as durable as the OS makes it."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - fs without dir-fsync
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 __all__ = ["atomic_write"]

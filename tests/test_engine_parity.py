@@ -17,7 +17,7 @@ import pytest
 
 pytest.importorskip("numpy")
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import (
@@ -138,9 +138,60 @@ CONFIG_AXES = {
 }
 
 
+# ROADMAP item 0 regression: with weighted VCV, ALL-scope absence and
+# prior updates, a confidence one ULP below 1.0 makes the iteration-1
+# vote count cancel to within one ULP of zero. The engines then disagreed
+# on which side of the theta_1 MAP cutoff (p >= 0.5) the claim fell —
+# the numpy engine added the absence base *after* the bincount sum
+# instead of seeding the accumulator with it — and the M steps amplified
+# that single ULP into a ~0.3 value-posterior divergence. Exact
+# arithmetic puts the vote count strictly below zero, so the reference
+# engine was right and the numpy C step now accumulates in its order
+# (``engine_numpy._seeded_vcc``).
+ULP_BELOW_ONE = 0.9999999999999999
+PARITY_ULP_RECORDS = [
+    ExtractionRecord(
+        extractor=EXTRACTORS[1],
+        source=SOURCES[0],
+        item=ITEMS[0],
+        value="a",
+        confidence=1.0,
+    ),
+    ExtractionRecord(
+        extractor=EXTRACTORS[0],
+        source=SOURCES[0],
+        item=ITEMS[0],
+        value="a",
+        confidence=ULP_BELOW_ONE,
+    ),
+    ExtractionRecord(
+        extractor=EXTRACTORS[2],
+        source=SOURCES[0],
+        item=ITEMS[1],
+        value="a",
+        confidence=1.0,
+    ),
+    ExtractionRecord(
+        extractor=EXTRACTORS[1],
+        source=SOURCES[0],
+        item=ITEMS[0],
+        value="a",
+        confidence=1.0,
+    ),
+    ExtractionRecord(
+        extractor=EXTRACTORS[3],
+        source=SOURCES[2],
+        item=ITEMS[0],
+        value="a",
+        confidence=1.0,
+    ),
+]
+
+
 @pytest.mark.parametrize("config", CONFIG_AXES.values(), ids=CONFIG_AXES)
 @settings(max_examples=25, deadline=None)
 @given(records=records_strategy())
+@example(records=PARITY_ULP_RECORDS)
 def test_randomized_parity(config, records):
     py, np_ = fit_both(config, records)
     assert_parity(py, np_)

@@ -431,6 +431,7 @@ class TestRegistry:
             "serial",
             "threads",
             "processes",
+            "remote",
         )
 
     def test_unknown_engine_message_lists_choices(self):
@@ -442,7 +443,7 @@ class TestRegistry:
     def test_unknown_backend_message_lists_choices(self):
         with pytest.raises(
             ValueError,
-            match=r"valid backends are serial, threads, processes",
+            match=r"valid backends are serial, threads, processes, remote",
         ):
             MultiLayerConfig(engine="numpy", backend="gpu")
 

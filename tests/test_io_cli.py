@@ -122,6 +122,75 @@ class TestScoreCsv:
         assert path_a.read_bytes() == path_b.read_bytes()
 
 
+class TestAtomicWrite:
+    def test_fsyncs_parent_directory_after_rename(
+        self, tmp_path, monkeypatch
+    ):
+        """Power-loss safety: the rename must be made durable by fsyncing
+        the parent directory *after* ``os.replace``, not just the file
+        data before it."""
+        import os
+        import stat
+
+        from repro.io.atomic import atomic_write
+
+        target = tmp_path / "manifest.json"
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            st = os.fstat(fd)
+            synced.append(
+                (
+                    st.st_ino,
+                    stat.S_ISDIR(st.st_mode),
+                    target.exists(),
+                )
+            )
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        with atomic_write(target, "w", encoding="utf-8") as handle:
+            handle.write("{}")
+
+        assert target.read_text(encoding="utf-8") == "{}"
+        dir_ino = os.stat(tmp_path).st_ino
+        dir_syncs = [s for s in synced if s[0] == dir_ino]
+        # The parent directory fd was opened and fsynced exactly once,
+        # after the rename had already published the target.
+        assert [(is_dir, visible) for _, is_dir, visible in dir_syncs] == [
+            (True, True)
+        ]
+        # The file data itself was fsynced before the rename.
+        file_syncs = [s for s in synced if not s[1]]
+        assert file_syncs and not file_syncs[0][2]
+
+    def test_no_dir_fsync_when_body_raises(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.io.atomic import atomic_write
+
+        target = tmp_path / "manifest.json"
+        synced_dirs = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            import stat
+
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                synced_dirs.append(fd)
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        with pytest.raises(RuntimeError):
+            with atomic_write(target, "w", encoding="utf-8") as handle:
+                handle.write("partial")
+                raise RuntimeError("boom")
+        assert not target.exists()
+        assert synced_dirs == []
+        assert list(tmp_path.iterdir()) == []
+
+
 class TestCli:
     def test_demo_then_estimate(self, tmp_path, capsys):
         demo_path = tmp_path / "demo.jsonl"
