@@ -1,0 +1,363 @@
+"""Serving-tier benchmark: legacy endpoint vs asyncio gateway, plus
+hot-swap-under-load correctness.
+
+The serving gateway (:mod:`repro.serving.gateway`) exists to carry
+production traffic: many concurrent keep-alive clients, bounded
+resources, zero-downtime artifact swaps. This bench measures exactly
+that and writes ``benchmarks/results/BENCH_serving_v2.json``:
+
+* **latency** — p50/p99 per-request wall time under concurrent
+  keep-alive clients (32 at full scale, 8 at smoke) hammering a mixed
+  route set, measured against both frontends over the *same* artifact:
+  the legacy ``ThreadingHTTPServer`` + in-memory ``TrustStore`` and the
+  asyncio gateway + zero-copy ``MmapTrustStore``;
+* **conditional traffic** — the same clients replay ``If-None-Match``
+  revalidations against the gateway (304s with no body);
+* **hot swap under load** — clients keep hammering while the artifact
+  behind the gateway is swapped back and forth between two fits;
+  **every** response must be 2xx/304 with a body byte-identical to one
+  of the two generations, and **zero** connections may drop.
+
+The swap-leg assertions are correctness gates and run at every scale —
+smoke included. Timing numbers are reported, never gated (wall clocks on
+shared runners gate nothing). ``SERVING_BENCH_SCALE=smoke`` selects the
+reduced corpus, matching the ``bench_serving_latency`` convention.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+from _harness import is_smoke, percentile, save_result, save_stats
+
+from repro.core.config import (
+    AbsenceScope,
+    ConvergenceConfig,
+    MultiLayerConfig,
+)
+from repro.core.kbt import KBTEstimator
+from repro.datasets.kv import KVConfig, generate_kv
+from repro.serving.gateway import GatewayThread
+from repro.serving.http import TrustServer
+from repro.serving.manager import StoreManager
+from repro.serving.mmap_store import MmapTrustStore
+from repro.serving.routes import handle_route
+from repro.serving.store import TrustStore
+from repro.util.tables import format_table
+
+SMOKE = is_smoke("serving")
+
+KV_CONFIG = KVConfig(
+    num_websites=300 if SMOKE else 1200,
+    items_per_predicate=40 if SMOKE else 80,
+    num_systems=12,
+    broad_pattern_fraction=0.8,
+    bad_system_fraction=0.0625,
+    seed=23,
+)
+
+CLIENTS = 8 if SMOKE else 32
+REQUESTS_PER_CLIENT = 40 if SMOKE else 150
+SWAPS = 4 if SMOKE else 10
+GATEWAY_WORKERS = 8
+
+
+def _model_config(max_iterations: int) -> MultiLayerConfig:
+    return MultiLayerConfig(
+        absence_scope=AbsenceScope.ACTIVE,
+        engine="numpy",
+        quality_damping=0.5,
+        convergence=ConvergenceConfig(
+            max_iterations=max_iterations, tolerance=1e-6
+        ),
+    )
+
+
+def _routes(sites: list[str]) -> list[str]:
+    """The mixed request set every client cycles through."""
+    picks = [sites[i * len(sites) // 8] for i in range(8)]
+    return [
+        f"/score?site={picks[0]}",
+        f"/score?site={picks[1]}",
+        "/batch?sites=" + ",".join(picks[:5]),
+        "/top?k=10",
+        f"/percentile?site={picks[2]}",
+        f"/breakdown?site={picks[3]}",
+        f"/score?site={picks[4]}",
+        "/healthz",
+    ]
+
+
+def _hammer(address, routes, n_requests, latencies, errors, revalidate=False):
+    """One keep-alive client: cycle the route mix, record per-request
+    latency; with ``revalidate`` every 4th request replays the last ETag
+    as ``If-None-Match`` (the 304 must still count as a full answer)."""
+    connection = http.client.HTTPConnection(*address, timeout=30)
+    etag = None
+    try:
+        for i in range(n_requests):
+            path = routes[i % len(routes)]
+            headers = {}
+            if revalidate and etag and i % 4 == 3:
+                headers["If-None-Match"] = etag
+            start = time.perf_counter_ns()
+            connection.request("GET", path, headers=headers)
+            response = connection.getresponse()
+            response.read()
+            latencies.append((time.perf_counter_ns() - start) / 1e6)
+            if response.status not in (200, 304):
+                errors.append(f"{path}: status {response.status}")
+            etag = response.getheader("ETag") or etag
+    except Exception as err:  # noqa: BLE001 - a drop is a bench failure
+        errors.append(f"dropped: {type(err).__name__}: {err}")
+    finally:
+        connection.close()
+
+
+def _measure(address, routes, revalidate=False):
+    """CLIENTS concurrent keep-alive clients; returns (latencies, errors,
+    elapsed seconds)."""
+    latencies: list[float] = []
+    errors: list[str] = []
+    threads = [
+        threading.Thread(
+            target=_hammer,
+            args=(address, routes, REQUESTS_PER_CLIENT, latencies, errors),
+            kwargs={"revalidate": revalidate},
+        )
+        for _ in range(CLIENTS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return latencies, errors, time.perf_counter() - start
+
+
+def _allowed_bodies(artifacts, probes):
+    """Every byte-exact body either artifact generation may serve."""
+    allowed: dict[str, set[bytes]] = {}
+    for artifact in artifacts:
+        store = MmapTrustStore.open(artifact)
+        for probe in probes:
+            path, _, query = probe.partition("?")
+            params = {
+                key: [value]
+                for key, value in (
+                    pair.split("=") for pair in query.split("&") if pair
+                )
+            }
+            _, payload = handle_route(store, path, params)
+            body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+            allowed.setdefault(probe, set()).add(body)
+    return allowed
+
+
+def _swap_leg(artifact_a, artifact_b, probes):
+    """Swap back and forth under load; returns the stats dict."""
+    allowed = _allowed_bodies((artifact_a, artifact_b), probes)
+    manager = StoreManager(MmapTrustStore.open(artifact_a))
+    gateway = GatewayThread(manager, workers=GATEWAY_WORKERS).start()
+    counts = {"2xx": 0, "304": 0, "other": 0, "torn": 0, "dropped": 0}
+    lock = threading.Lock()
+    stop = threading.Event()
+    per_client = max(REQUESTS_PER_CLIENT, 2 * SWAPS)
+
+    def client():
+        connection = http.client.HTTPConnection(
+            *gateway.address, timeout=30
+        )
+        etag = None
+        try:
+            served = 0
+            while served < per_client or not stop.is_set():
+                probe = probes[served % len(probes)]
+                headers = {}
+                if etag and served % 5 == 4:
+                    headers["If-None-Match"] = etag
+                connection.request("GET", probe, headers=headers)
+                response = connection.getresponse()
+                body = response.read()
+                etag = response.getheader("ETag") or etag
+                served += 1
+                with lock:
+                    if response.status == 304:
+                        counts["304"] += 1
+                    elif 200 <= response.status < 300:
+                        counts["2xx"] += 1
+                        if body not in allowed[probe]:
+                            counts["torn"] += 1
+                    else:
+                        counts["other"] += 1
+        except Exception:  # noqa: BLE001 - a drop is the failure signal
+            with lock:
+                counts["dropped"] += 1
+        finally:
+            connection.close()
+
+    threads = [threading.Thread(target=client) for _ in range(CLIENTS)]
+    swap_s: list[float] = []
+    try:
+        for thread in threads:
+            thread.start()
+        targets = [artifact_b, artifact_a]
+        for index in range(SWAPS):
+            time.sleep(0.05)
+            start = time.perf_counter()
+            manager.swap(targets[index % 2])
+            swap_s.append(time.perf_counter() - start)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=120)
+    finally:
+        stop.set()
+        gateway.stop()
+    return {
+        "swaps": SWAPS,
+        "swap_p50_ms": percentile(swap_s, 0.50) * 1e3,
+        "swap_max_ms": max(swap_s) * 1e3,
+        "responses_2xx": counts["2xx"],
+        "responses_304": counts["304"],
+        "responses_other": counts["other"],
+        "torn_bodies": counts["torn"],
+        "dropped_connections": counts["dropped"],
+        "final_generation": manager.generation,
+    }
+
+
+def run_serving_v2_bench(tmp_dir: str) -> tuple[str, dict]:
+    corpus = generate_kv(KV_CONFIG)
+    records = list(corpus.campaign.records)
+
+    # Two fits of the same corpus with different convergence budgets:
+    # same universe of sites, measurably different scores -> different
+    # ETags, so the swap legs flip between real generations.
+    artifact_a = f"{tmp_dir}/serving_v2_a.kbt"
+    artifact_b = f"{tmp_dir}/serving_v2_b.kbt"
+    KBTEstimator(config=_model_config(8), min_triples=5.0).fit(
+        records
+    ).save(artifact_a)
+    KBTEstimator(config=_model_config(2), min_triples=5.0).fit(
+        records
+    ).save(artifact_b)
+
+    store = TrustStore.open(artifact_a)
+    sites = list(store.websites())
+    routes = _routes(sites)
+
+    # --- leg 1: legacy frontend ---------------------------------------
+    legacy = TrustServer(store, port=0).start()
+    try:
+        legacy_lat, legacy_errors, legacy_wall = _measure(
+            legacy.address, routes
+        )
+    finally:
+        legacy.shutdown()
+
+    # --- leg 2: gateway, cold then conditional ------------------------
+    manager = StoreManager(MmapTrustStore.open(artifact_a))
+    gateway = GatewayThread(manager, workers=GATEWAY_WORKERS).start()
+    try:
+        gateway_lat, gateway_errors, gateway_wall = _measure(
+            gateway.address, routes
+        )
+        conditional_lat, conditional_errors, _ = _measure(
+            gateway.address, routes, revalidate=True
+        )
+    finally:
+        gateway.stop()
+
+    # --- leg 3: hot swap under load (correctness-gated everywhere) ----
+    swap_stats = _swap_leg(artifact_a, artifact_b, routes)
+
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    stats = {
+        "scale": "smoke" if SMOKE else "full",
+        "corpus": {
+            "records": len(records),
+            "scored_websites": len(store),
+        },
+        "load": {
+            "clients": CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "total_requests_per_leg": total,
+            "routes": routes,
+        },
+        "legacy": {
+            "p50_ms": percentile(legacy_lat, 0.50),
+            "p99_ms": percentile(legacy_lat, 0.99),
+            "throughput_rps": len(legacy_lat) / legacy_wall,
+            "errors": legacy_errors[:5],
+        },
+        "gateway": {
+            "p50_ms": percentile(gateway_lat, 0.50),
+            "p99_ms": percentile(gateway_lat, 0.99),
+            "throughput_rps": len(gateway_lat) / gateway_wall,
+            "errors": gateway_errors[:5],
+        },
+        "gateway_conditional": {
+            "p50_ms": percentile(conditional_lat, 0.50),
+            "p99_ms": percentile(conditional_lat, 0.99),
+            "errors": conditional_errors[:5],
+        },
+        "hot_swap": swap_stats,
+    }
+
+    rows = [
+        ["concurrent clients", float(CLIENTS)],
+        ["requests per leg", float(total)],
+        ["legacy p50 (ms)", stats["legacy"]["p50_ms"]],
+        ["legacy p99 (ms)", stats["legacy"]["p99_ms"]],
+        ["legacy throughput (req/s)", stats["legacy"]["throughput_rps"]],
+        ["gateway p50 (ms)", stats["gateway"]["p50_ms"]],
+        ["gateway p99 (ms)", stats["gateway"]["p99_ms"]],
+        ["gateway throughput (req/s)", stats["gateway"]["throughput_rps"]],
+        ["gateway revalidated p50 (ms)",
+         stats["gateway_conditional"]["p50_ms"]],
+        ["hot swaps under load", float(SWAPS)],
+        ["swap p50 (ms)", swap_stats["swap_p50_ms"]],
+        ["swap responses 2xx", float(swap_stats["responses_2xx"])],
+        ["swap responses 304", float(swap_stats["responses_304"])],
+        ["swap responses other", float(swap_stats["responses_other"])],
+        ["swap torn bodies", float(swap_stats["torn_bodies"])],
+        ["swap dropped connections",
+         float(swap_stats["dropped_connections"])],
+    ]
+    text = format_table(
+        ["Metric", "Value"],
+        rows,
+        title=(
+            "Serving tier v2: legacy vs gateway under "
+            f"{CLIENTS} keep-alive clients "
+            f"({'smoke' if SMOKE else 'full'} corpus)"
+        ),
+        float_format="{:.4g}",
+    )
+    return text, stats
+
+
+def test_bench_serving_v2(benchmark, tmp_path):
+    text, stats = benchmark.pedantic(
+        run_serving_v2_bench, args=(str(tmp_path),), rounds=1, iterations=1
+    )
+    save_result("serving_v2", text)
+    save_stats("serving_v2", stats, scale=stats["scale"])
+
+    # Correctness gates — these hold at EVERY scale, smoke included.
+    # The latency legs must complete without a single failed request...
+    assert not stats["legacy"]["errors"]
+    assert not stats["gateway"]["errors"]
+    assert not stats["gateway_conditional"]["errors"]
+    # ...and the swap leg is the tentpole guarantee: under concurrent
+    # load across repeated hot swaps, every response is 2xx/304, every
+    # body is byte-identical to one artifact generation, and no client
+    # connection drops. Never timing-gated.
+    swap = stats["hot_swap"]
+    assert swap["responses_other"] == 0
+    assert swap["torn_bodies"] == 0
+    assert swap["dropped_connections"] == 0
+    assert swap["responses_2xx"] > 0
+    assert swap["responses_304"] > 0
+    assert swap["final_generation"] == swap["swaps"]

@@ -29,9 +29,19 @@ The subcommands mirror the fit -> persist -> query lifecycle:
 
       kbt compare model.kbt --a kbt --b pagerank --k 10
 
-* ``serve`` — expose the artifact over HTTP (JSON)::
+* ``serve`` — expose the artifact over HTTP (JSON). ``--gateway``
+  swaps in the production asyncio frontend: zero-copy mmap store,
+  connection limits, per-request timeouts, ETag caching, POST /batch,
+  and hot artifact swap (byte-identical responses on every route)::
 
       kbt serve model.kbt --port 8080
+      kbt serve model.kbt --gateway --max-connections 256 \\
+          --request-timeout 30
+
+* ``swap`` — point a running gateway at a freshly fitted artifact,
+  without dropping a single in-flight request::
+
+      kbt swap model_v2.kbt --server 127.0.0.1:8080
 
 * ``update`` — fold new records into an existing artifact incrementally
   (frozen extractor qualities, one-to-two EM sweeps on the delta)::
@@ -184,6 +194,52 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("artifact", help="trust artifact written by 'fit'")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--gateway", action="store_true",
+        help=(
+            "serve through the production asyncio gateway: zero-copy "
+            "mmap store, connection limits, request timeouts, ETag "
+            "caching, POST /batch, and hot swap via 'kbt swap'"
+        ),
+    )
+    serve.add_argument(
+        "--max-connections", type=int, default=256, metavar="N",
+        help=(
+            "gateway only: concurrent-connection ceiling; arrivals "
+            "beyond it get an immediate JSON 503 (default 256)"
+        ),
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="S",
+        help=(
+            "gateway only: per-request deadline in seconds; a handler "
+            "exceeding it answers 504 (default 30)"
+        ),
+    )
+    serve.add_argument(
+        "--workers", type=int, default=8, metavar="N",
+        help=(
+            "gateway only: handler thread-pool size — the "
+            "backpressure bound on concurrently executing lookups "
+            "(default 8)"
+        ),
+    )
+
+    swap = sub.add_parser(
+        "swap",
+        help="hot-swap the artifact behind a running gateway",
+    )
+    swap.add_argument(
+        "artifact",
+        help=(
+            "the new trust artifact; the path is resolved on the "
+            "gateway's host and must be readable there"
+        ),
+    )
+    swap.add_argument(
+        "--server", default="127.0.0.1:8080", metavar="HOST:PORT",
+        help="the running 'kbt serve --gateway' to update",
+    )
 
     update = sub.add_parser(
         "update",
@@ -651,10 +707,61 @@ def run_compare(args: argparse.Namespace) -> int:
 
 
 def run_serve(args: argparse.Namespace) -> int:
+    if args.gateway:
+        from repro.serving.gateway import serve_gateway
+        from repro.serving.mmap_store import MmapTrustStore
+
+        serve_gateway(
+            MmapTrustStore.open(args.artifact),
+            host=args.host,
+            port=args.port,
+            max_connections=args.max_connections,
+            request_timeout=args.request_timeout,
+            workers=args.workers,
+        )
+        return 0
     from repro.serving.http import serve
     from repro.serving.store import TrustStore
 
     serve(TrustStore.open(args.artifact), host=args.host, port=args.port)
+    return 0
+
+
+def run_swap(args: argparse.Namespace) -> int:
+    import urllib.error
+    import urllib.request
+    from pathlib import Path
+
+    body = json.dumps(
+        {"artifact": str(Path(args.artifact).resolve())}
+    ).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://{args.server}/admin/swap",
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as err:
+        detail = err.read().decode("utf-8", "replace")
+        try:
+            detail = json.loads(detail).get("error", detail)
+        except json.JSONDecodeError:
+            pass
+        print(f"error: swap failed ({err.code}): {detail}", file=sys.stderr)
+        return 1
+    except urllib.error.URLError as err:
+        print(
+            f"error: cannot reach gateway at {args.server}: {err.reason}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"swapped: generation {payload['generation']}, "
+        f"{payload['websites']} websites, etag {payload['etag']}"
+    )
     return 0
 
 
@@ -761,6 +868,8 @@ def main(argv: list[str] | None = None) -> int:
             return run_compare(args)
         if args.command == "serve":
             return run_serve(args)
+        if args.command == "swap":
+            return run_swap(args)
         if args.command == "update":
             return run_update(args)
         if args.command == "worker":

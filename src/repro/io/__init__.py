@@ -4,7 +4,10 @@
   record per line), the interchange format of the command-line tool;
 * :mod:`repro.io.reports` — write KBT scores as CSV;
 * :mod:`repro.io.artifact` — versioned on-disk artifacts for fitted
-  models (the *persist* stage of the fit -> persist -> query lifecycle).
+  models (the *persist* stage of the fit -> persist -> query lifecycle);
+* :mod:`repro.io.mmap_layout` — the serving layout: an artifact unpacked
+  into raw mmappable ``.npy`` columns plus a manifest carrying the
+  artifact's sha256 ETag, for the zero-copy serving tier.
 """
 
 from repro.io.artifact import (
@@ -15,12 +18,22 @@ from repro.io.artifact import (
     save_artifact,
 )
 from repro.io.jsonl import read_records, record_to_dict, write_records
+from repro.io.mmap_layout import (
+    LayoutError,
+    ServingLayout,
+    artifact_etag,
+    export_layout,
+)
 from repro.io.reports import write_score_csv
 
 __all__ = [
     "FORMAT_VERSION",
     "ArtifactError",
+    "LayoutError",
+    "ServingLayout",
     "TrustArtifact",
+    "artifact_etag",
+    "export_layout",
     "load_artifact",
     "read_records",
     "record_to_dict",

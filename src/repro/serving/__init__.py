@@ -7,11 +7,38 @@ is that split:
 * :mod:`repro.serving.store` — :class:`TrustStore`, an in-memory read view
   over a persisted trust artifact with O(1) score lookups, ranked ``top``,
   percentiles, and per-site provenance breakdowns;
+* :mod:`repro.serving.mmap_store` — :class:`MmapTrustStore`, the zero-copy
+  production twin: the same query surface answered from memory-mapped
+  columns of a serving layout (:mod:`repro.io.mmap_layout`), with
+  byte-identical JSON views;
+* :mod:`repro.serving.routes` — the one route table both HTTP frontends
+  dispatch through, so their responses can never drift;
 * :mod:`repro.serving.http` — a stdlib ``http.server`` JSON endpoint over
-  a ``TrustStore`` (``kbt serve``).
+  a ``TrustStore`` (``kbt serve``);
+* :mod:`repro.serving.gateway` — the asyncio production gateway
+  (``kbt serve --gateway``): connection limits, request timeouts, ETag
+  caching, ``POST /batch``, draining shutdown;
+* :mod:`repro.serving.manager` — the refcounted :class:`StoreManager`
+  behind the gateway's zero-downtime hot artifact swap (``kbt swap``).
 """
 
+from repro.serving.gateway import Gateway, GatewayThread, serve_gateway
 from repro.serving.http import TrustServer, serve
+from repro.serving.manager import StoreLease, StoreManager
+from repro.serving.mmap_store import MmapTrustStore
+from repro.serving.routes import CACHEABLE_ROUTES, handle_route
 from repro.serving.store import TrustStore
 
-__all__ = ["TrustServer", "TrustStore", "serve"]
+__all__ = [
+    "CACHEABLE_ROUTES",
+    "Gateway",
+    "GatewayThread",
+    "MmapTrustStore",
+    "StoreLease",
+    "StoreManager",
+    "TrustServer",
+    "TrustStore",
+    "handle_route",
+    "serve",
+    "serve_gateway",
+]

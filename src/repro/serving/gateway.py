@@ -1,0 +1,679 @@
+"""The asyncio serving gateway: ``kbt serve --gateway``.
+
+The legacy endpoint (:mod:`repro.serving.http`) is a thread-per-request
+``ThreadingHTTPServer`` — fine for a laptop, wrong for production: no
+connection ceiling, no per-request deadline, no cache validators, and a
+restart is the only way to pick up a refitted artifact. The gateway
+keeps the exact same routes (one shared table,
+:mod:`repro.serving.routes`, so responses stay **byte-identical**) and
+adds the serving-tier machinery around them:
+
+* **asyncio transport** (stdlib ``asyncio.start_server``): one event
+  loop owns every socket; route handlers run on a bounded thread pool so
+  a slow lookup never stalls the loop, and the pool doubles as the
+  backpressure valve — excess requests queue instead of spawning
+  threads. Keep-alive and pipelined requests on one connection are
+  answered strictly in order.
+* **Connection limit** — beyond ``max_connections`` concurrent sockets,
+  new arrivals get an immediate JSON 503 and a close, instead of
+  unbounded accept backlog.
+* **Per-request timeout** — a handler that exceeds ``request_timeout``
+  answers 504 while the stray worker finishes harmlessly in the pool
+  (its store lease releases only when it actually ends, so a hot swap
+  can never unmap memory under it).
+* **ETag caching** — every cacheable response carries the artifact's
+  sha256 as a strong ETag; ``If-None-Match`` answers 304 with no store
+  work, and a bounded LRU keyed ``(etag, request target)`` serves
+  repeat hits without re-rendering. A swap changes the ETag, so stale
+  entries can never be served.
+* **POST /batch** — ``{"sites": [...]}`` bodies of arbitrary size,
+  fanned out over the pool in bounded chunks and merged in order;
+  byte-compatible with ``GET /batch`` over the same keys.
+* **Hot swap** — ``POST /admin/swap {"artifact": PATH}`` builds the new
+  store first (rejecting corrupt or version-mismatched artifacts with a
+  400 while the old store keeps serving) and flips atomically via the
+  refcounted :class:`~repro.serving.manager.StoreManager`: in-flight
+  requests finish on the store they started with, zero dropped, zero
+  torn.
+* **/healthz vs /readyz** — ``/healthz`` is the legacy liveness body
+  (byte-identical stats); ``/readyz`` is gateway-only readiness: 200
+  with the current ETag and swap generation, 503 once draining.
+* **Draining shutdown** — :meth:`Gateway.stop` stops accepting, flips
+  ``/readyz``, lets every in-flight request complete, then closes idle
+  keep-alive sockets and the store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from http import HTTPStatus
+from pathlib import Path
+from urllib.parse import parse_qs, urlsplit
+
+from repro.io.artifact import ArtifactError
+from repro.io.mmap_layout import LayoutError
+from repro.serving.manager import StoreManager
+from repro.serving.routes import CACHEABLE_ROUTES, handle_route
+
+#: Largest accepted request body (a /batch over ~100k sites fits).
+MAX_BODY_BYTES = 8 << 20
+#: Largest accepted request head (request line + headers).
+MAX_HEAD_BYTES = 64 << 10
+
+_JSON_TYPE = "application/json; charset=utf-8"
+
+
+def _consume(future) -> None:
+    """Retrieve a late worker's outcome so it never logs as unretrieved."""
+    if not future.cancelled():
+        future.exception()
+
+
+def _match_etag(header: str | None, etag: str | None) -> bool:
+    """Does an ``If-None-Match`` header validate against our ETag?"""
+    if header is None or etag is None:
+        return False
+    if header.strip() == "*":
+        return True
+    for candidate in header.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate.strip('"') == etag:
+            return True
+    return False
+
+
+class _Connection:
+    """One live socket: its writer plus whether a request is in flight."""
+
+    __slots__ = ("writer", "busy")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.busy = False
+
+
+class Gateway:
+    """The async serving frontend over a refcounted store manager."""
+
+    def __init__(
+        self,
+        manager: StoreManager,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        max_connections: int = 256,
+        request_timeout: float = 30.0,
+        workers: int = 8,
+        batch_chunk: int = 512,
+        batch_fanout: int = 4,
+        cache_size: int = 1024,
+    ) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self.request_timeout = request_timeout
+        self.batch_chunk = batch_chunk
+        self.batch_fanout = batch_fanout
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="kbt-gateway"
+        )
+        self._cache: OrderedDict[tuple, bytes] = OrderedDict()
+        self._cache_size = cache_size
+        self._cache_lock = threading.Lock()
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[_Connection] = set()
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "Gateway":
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self.host,
+            self.port,
+            limit=MAX_HEAD_BYTES,
+        )
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    async def stop(self) -> None:
+        """Drain and shut down: finish in-flight work, drop nothing.
+
+        Ordering matters: flip ``/readyz`` to 503 first (load balancers
+        stop routing), stop accepting, wake idle keep-alive readers by
+        closing their sockets, then wait for busy connections to finish
+        the request they are serving before closing the pool and store.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        for connection in list(self._connections):
+            if not connection.busy:
+                connection.writer.close()
+        deadline = (
+            asyncio.get_running_loop().time() + self.request_timeout + 5.0
+        )
+        while self._connections:
+            if asyncio.get_running_loop().time() > deadline:
+                for connection in list(self._connections):
+                    connection.writer.close()
+                break
+            await asyncio.sleep(0.01)
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._pool.shutdown(wait=True)
+        self.manager.close()
+
+    # ------------------------------------------------------------------
+    # Connection loop
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(writer)
+        if self._draining or len(self._connections) >= self.max_connections:
+            error = (
+                {"error": "server is draining"}
+                if self._draining
+                else {"error": "connection limit reached"}
+            )
+            await self._respond(writer, 503, error, close=True)
+            await self._close_writer(writer)
+            return
+        self._connections.add(connection)
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    BrokenPipeError,
+                ):
+                    break
+                except asyncio.LimitOverrunError:
+                    await self._respond(
+                        writer,
+                        431,
+                        {"error": "request header section too large"},
+                        close=True,
+                    )
+                    break
+                connection.busy = True
+                try:
+                    keep_alive = await self._handle_request(
+                        head, reader, writer
+                    )
+                finally:
+                    connection.busy = False
+                if not keep_alive or self._draining:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(connection)
+            await self._close_writer(writer)
+
+    async def _close_writer(self, writer: asyncio.StreamWriter) -> None:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # One request
+    # ------------------------------------------------------------------
+    async def _handle_request(
+        self,
+        head: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """Parse, dispatch, respond. Returns whether to keep the socket."""
+        try:
+            request_line, headers = self._parse_head(head)
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            await self._respond(
+                writer, 400, {"error": "malformed request"}, close=True
+            )
+            return False
+
+        keep_alive = headers.get("connection", "").lower() != "close"
+
+        body = b""
+        raw_length = headers.get("content-length", "0")
+        try:
+            content_length = int(raw_length)
+            if content_length < 0:
+                raise ValueError
+        except ValueError:
+            await self._respond(
+                writer,
+                400,
+                {"error": f"invalid content-length: {raw_length!r}"},
+                close=True,
+            )
+            return False
+        if content_length > MAX_BODY_BYTES:
+            await self._respond(
+                writer,
+                413,
+                {"error": "request body too large"},
+                close=True,
+            )
+            return False
+        if content_length:
+            try:
+                body = await reader.readexactly(content_length)
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return False
+
+        url = urlsplit(target)
+        path = url.path
+        params = parse_qs(url.query)
+
+        if method == "GET" and path == "/readyz":
+            await self._respond(writer, *self._readyz())
+            return keep_alive
+        if method == "POST" and path == "/admin/swap":
+            status, payload = await self._swap(body)
+            await self._respond(writer, status, payload)
+            return keep_alive
+        if method == "POST" and path == "/batch":
+            return await self._batch_post(writer, headers, body, keep_alive)
+        if method != "GET":
+            await self._respond(
+                writer,
+                405,
+                {"error": f"method not allowed: {method}"},
+            )
+            return keep_alive
+        return await self._get(writer, headers, path, params, target,
+                               keep_alive)
+
+    @staticmethod
+    def _parse_head(head: bytes) -> tuple[str, dict[str, str]]:
+        lines = head.decode("latin-1").split("\r\n")
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            if not _:
+                raise ValueError(f"malformed header line: {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        return lines[0], headers
+
+    # ------------------------------------------------------------------
+    # GET: the shared route table + ETag caching
+    # ------------------------------------------------------------------
+    async def _get(
+        self,
+        writer: asyncio.StreamWriter,
+        headers: dict[str, str],
+        path: str,
+        params: dict,
+        target: str,
+        keep_alive: bool,
+    ) -> bool:
+        lease = self.manager.acquire()
+        etag = getattr(lease.store, "etag", None)
+        cacheable = path in CACHEABLE_ROUTES and etag is not None
+
+        if cacheable and _match_etag(headers.get("if-none-match"), etag):
+            lease.release()
+            await self._respond(writer, 304, body=b"", etag=etag)
+            return keep_alive
+
+        if cacheable:
+            cached = self._cache_get((etag, target))
+            if cached is not None:
+                lease.release()
+                await self._respond(writer, 200, body=cached, etag=etag)
+                return keep_alive
+
+        def work():
+            try:
+                return handle_route(lease.store, path, params)
+            finally:
+                # Payloads are plain detached dicts, so the store is
+                # done with the moment the handler returns — and on the
+                # 504 path this runs when the stray worker *actually*
+                # finishes, keeping the swap-close safe.
+                lease.release()
+
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._pool, work)
+        done, _pending = await asyncio.wait(
+            {future}, timeout=self.request_timeout
+        )
+        if not done:
+            future.add_done_callback(_consume)
+            await self._respond(
+                writer, 504, {"error": "request timed out"}
+            )
+            return keep_alive
+        status, payload = future.result()
+        body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+        if cacheable and status == 200:
+            self._cache_put((etag, target), body)
+        await self._respond(
+            writer, status, body=body, etag=etag if cacheable else None
+        )
+        return keep_alive
+
+    def _cache_get(self, key: tuple) -> bytes | None:
+        with self._cache_lock:
+            body = self._cache.get(key)
+            if body is not None:
+                self._cache.move_to_end(key)
+            return body
+
+    def _cache_put(self, key: tuple, body: bytes) -> None:
+        with self._cache_lock:
+            self._cache[key] = body
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # POST /batch: bounded fan-out over the worker pool
+    # ------------------------------------------------------------------
+    async def _batch_post(
+        self,
+        writer: asyncio.StreamWriter,
+        headers: dict[str, str],
+        body: bytes,
+        keep_alive: bool,
+    ) -> bool:
+        try:
+            payload = json.loads(body)
+            sites = payload["sites"]
+            if not isinstance(sites, list) or not all(
+                isinstance(site, str) for site in sites
+            ):
+                raise ValueError
+        except (ValueError, KeyError, TypeError):
+            await self._respond(
+                writer,
+                400,
+                {"error": 'batch body must be {"sites": ["a.com", ...]}'},
+            )
+            return keep_alive
+
+        lease = self.manager.acquire()
+        etag = getattr(lease.store, "etag", None)
+        if _match_etag(headers.get("if-none-match"), etag):
+            lease.release()
+            await self._respond(writer, 304, body=b"", etag=etag)
+            return keep_alive
+
+        chunks = [
+            sites[i : i + self.batch_chunk]
+            for i in range(0, len(sites), self.batch_chunk)
+        ] or [[]]
+        loop = asyncio.get_running_loop()
+        semaphore = asyncio.Semaphore(self.batch_fanout)
+
+        async def one_chunk(chunk):
+            async with semaphore:
+                return await loop.run_in_executor(
+                    self._pool, lease.store.batch_json, chunk
+                )
+
+        gathered = asyncio.ensure_future(
+            asyncio.gather(*(one_chunk(chunk) for chunk in chunks))
+        )
+        done, _pending = await asyncio.wait(
+            {gathered}, timeout=self.request_timeout
+        )
+        if not done:
+            gathered.add_done_callback(
+                lambda task: (_consume(task), lease.release())
+            )
+            await self._respond(
+                writer, 504, {"error": "request timed out"}
+            )
+            return keep_alive
+        try:
+            partials = gathered.result()
+        except Exception as err:  # noqa: BLE001 - mirror handle_route's 500
+            lease.release()
+            await self._respond(
+                writer,
+                500,
+                {
+                    "error": "internal error: "
+                    f"{type(err).__name__}: {err}"
+                },
+            )
+            return keep_alive
+        lease.release()
+        merged: dict = {}
+        for partial in partials:
+            merged.update(partial)
+        await self._respond(writer, 200, merged, etag=etag)
+        return keep_alive
+
+    # ------------------------------------------------------------------
+    # Readiness + hot swap
+    # ------------------------------------------------------------------
+    def _readyz(self) -> tuple[int, dict]:
+        if self._draining:
+            return 503, {"status": "draining"}
+        return 200, {
+            "status": "ready",
+            "etag": self.manager.etag,
+            "generation": self.manager.generation,
+        }
+
+    async def _swap(self, body: bytes) -> tuple[int, dict]:
+        try:
+            payload = json.loads(body)
+            artifact = payload["artifact"]
+            if not isinstance(artifact, str) or not artifact:
+                raise ValueError
+        except (ValueError, KeyError, TypeError):
+            return 400, {
+                "error": 'swap body must be {"artifact": "/path/to.kbt"}'
+            }
+        loop = asyncio.get_running_loop()
+        try:
+            new_store = await loop.run_in_executor(
+                self._pool, self.manager.swap, Path(artifact)
+            )
+        except (ArtifactError, LayoutError, OSError, ValueError) as err:
+            # The swap never flipped: the old store is still serving.
+            return 400, {
+                "error": f"swap rejected: {type(err).__name__}: {err}"
+            }
+        return 200, {
+            "status": "swapped",
+            "etag": getattr(new_store, "etag", None),
+            "generation": self.manager.generation,
+            "websites": len(new_store),
+        }
+
+    # ------------------------------------------------------------------
+    # Response writing
+    # ------------------------------------------------------------------
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload=None,
+        *,
+        body: bytes | None = None,
+        etag: str | None = None,
+        close: bool = False,
+    ) -> None:
+        if body is None:
+            body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+        phrase = HTTPStatus(status).phrase
+        lines = [
+            f"HTTP/1.1 {status} {phrase}",
+            "Server: kbt-gateway/1",
+        ]
+        if etag is not None:
+            lines.append(f'ETag: "{etag}"')
+        if status == 304:
+            body = b""
+        else:
+            lines.append(f"Content-Type: {_JSON_TYPE}")
+            lines.append(f"Content-Length: {len(body)}")
+        if close:
+            lines.append("Connection: close")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+# ----------------------------------------------------------------------
+# Running a gateway: blocking CLI entry + background thread for tests
+# ----------------------------------------------------------------------
+def serve_gateway(
+    store,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    max_connections: int = 256,
+    request_timeout: float = 30.0,
+    workers: int = 8,
+) -> None:
+    """Blocking convenience wrapper used by ``kbt serve --gateway``.
+
+    ``store`` is any TrustStore-surface object (normally an
+    ``MmapTrustStore``) or a ready-made :class:`StoreManager`. Ctrl-C
+    and SIGTERM (what systemd, Kubernetes, and CI send) both trigger
+    the draining shutdown before the process exits.
+    """
+    manager = store if isinstance(store, StoreManager) else StoreManager(store)
+
+    async def main() -> None:
+        gateway = Gateway(
+            manager,
+            host=host,
+            port=port,
+            max_connections=max_connections,
+            request_timeout=request_timeout,
+            workers=workers,
+        )
+        await gateway.start()
+        bound_host, bound_port = gateway.address
+        with manager.acquire() as current:
+            print(
+                f"gateway serving {len(current)} website scores on "
+                f"http://{bound_host}:{bound_port} "
+                f"(etag {manager.etag or 'n/a'})"
+            )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        # SIGINT arrives as KeyboardInterrupt via asyncio.run's
+        # cancellation; SIGTERM needs an explicit handler or the
+        # process dies without draining. Registration fails off the
+        # main thread (tests) — there GatewayThread.stop drains.
+        try:
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
+        try:
+            await stop.wait()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            try:
+                loop.remove_signal_handler(signal.SIGTERM)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+            await gateway.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+
+
+class GatewayThread:
+    """A gateway on its own event-loop thread (tests and benchmarks).
+
+    ``with GatewayThread(manager) as url:`` yields the bound base URL;
+    exiting runs the draining stop on the loop thread and joins it.
+    """
+
+    def __init__(self, manager: StoreManager, **kwargs) -> None:
+        self._manager = manager
+        self._kwargs = kwargs
+        self.gateway: Gateway | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "GatewayThread":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()), daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._error is not None:
+            raise self._error
+        return self
+
+    async def _main(self) -> None:
+        try:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self.gateway = Gateway(self._manager, port=0, **self._kwargs)
+            await self.gateway.start()
+        except BaseException as err:  # noqa: BLE001 - surface to caller
+            self._error = err
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop.wait()
+        await self.gateway.stop()
+
+    @property
+    def url(self) -> str:
+        return self.gateway.url
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.gateway.address
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> str:
+        self.start()
+        return self.url
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+__all__ = ["Gateway", "GatewayThread", "serve_gateway"]

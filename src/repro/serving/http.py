@@ -15,12 +15,15 @@ Routes (all GET, all JSON):
 * ``/compare?a=kbt&b=pagerank&k=10`` — correlation + the two
   disagreement quadrants between two signals (the Figure 10 view)
 
-Every error is a structured JSON body ``{"error": ...}`` with the
-matching status code: unknown sites and routes 404, malformed or missing
-query parameters (including unknown signal names) 400, unexpected
-handler failures 500. The server is a ``ThreadingHTTPServer`` so slow
-clients do not serialise lookups (the store is immutable — concurrent
-reads are safe).
+Routing, parameter parsing, and every error body live in
+:mod:`repro.serving.routes`, which this endpoint shares with the asyncio
+gateway (:mod:`repro.serving.gateway`) so the two frontends answer
+byte-identically. Every error is a structured JSON body
+``{"error": ...}`` with the matching status code: unknown sites and
+routes 404, malformed or missing query parameters (including unknown
+signal names) 400, unexpected handler failures 500. The server is a
+``ThreadingHTTPServer`` so slow clients do not serialise lookups (the
+store is immutable — concurrent reads are safe).
 """
 
 from __future__ import annotations
@@ -30,8 +33,8 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from repro.serving.routes import handle_route
 from repro.serving.store import TrustStore
-from repro.signals.base import SignalError
 
 
 class TrustRequestHandler(BaseHTTPRequestHandler):
@@ -48,141 +51,27 @@ class TrustRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         store: TrustStore = self.server.store  # type: ignore[attr-defined]
         url = urlsplit(self.path)
-        params = parse_qs(url.query)
-        try:
-            handler = {
-                "/healthz": self._healthz,
-                "/score": self._score,
-                "/page": self._page,
-                "/batch": self._batch,
-                "/top": self._top,
-                "/percentile": self._percentile,
-                "/breakdown": self._breakdown,
-                "/signals": self._signals,
-                "/compare": self._compare,
-            }.get(url.path)
-            if handler is None:
-                self._send(404, {"error": f"unknown route: {url.path}"})
-                return
-            handler(store, params)
-        except _BadRequest as err:
-            self._send(400, {"error": str(err)})
-        except SignalError as err:
-            self._send(400, {"error": str(err)})
-        except Exception as err:  # noqa: BLE001 - last-resort JSON body
-            self._send(
-                500,
-                {"error": f"internal error: {type(err).__name__}: {err}"},
-            )
-
-    # ------------------------------------------------------------------
-    # Route handlers
-    # ------------------------------------------------------------------
-    def _healthz(self, store: TrustStore, params) -> None:
-        self._send(200, store.stats_json())
-
-    def _score(self, store: TrustStore, params) -> None:
-        site = _require(params, "site")
-        payload = store.score_json(site)
-        if payload is None:
-            self._send(404, {"error": f"no score for website: {site}"})
-        else:
-            self._send(200, payload)
-
-    def _page(self, store: TrustStore, params) -> None:
-        site = _require(params, "site")
-        page = _require(params, "page")
-        payload = store.page_json(site, page)
-        if payload is None:
-            self._send(
-                404, {"error": f"no score for webpage: {site} {page}"}
-            )
-        else:
-            self._send(200, payload)
-
-    def _batch(self, store: TrustStore, params) -> None:
-        sites = [
-            site for site in _require(params, "sites").split(",") if site
-        ]
-        self._send(200, store.batch_json(sites))
-
-    def _top(self, store: TrustStore, params) -> None:
-        raw = params.get("k", ["10"])[0]
-        try:
-            k = int(raw)
-            if k < 0:
-                raise ValueError
-        except ValueError:
-            raise _BadRequest(f"k must be a non-negative integer: {raw!r}")
-        self._send(200, store.top_json(k))
-
-    def _percentile(self, store: TrustStore, params) -> None:
-        site = _require(params, "site")
-        percentile = store.percentile(site)
-        if percentile is None:
-            self._send(404, {"error": f"no score for website: {site}"})
-        else:
-            self._send(200, {"key": site, "percentile": percentile})
-
-    def _breakdown(self, store: TrustStore, params) -> None:
-        site = _require(params, "site")
-        payload = store.breakdown(site)
-        if payload is None:
-            self._send(404, {"error": f"no score for website: {site}"})
-        else:
-            self._send(200, payload)
-
-    def _signals(self, store: TrustStore, params) -> None:
-        site = _optional(params, "site")
-        if site is None:
-            self._send(200, store.signals_json())
-            return
-        payload = store.signal_breakdown(site)
-        if payload is None:
-            self._send(
-                404, {"error": f"no signal scores for website: {site}"}
-            )
-        else:
-            self._send(200, payload)
-
-    def _compare(self, store: TrustStore, params) -> None:
-        a = _require(params, "a")
-        b = _require(params, "b")
-        raw = params.get("k", ["10"])[0]
-        try:
-            k = int(raw)
-            if k < 0:
-                raise ValueError
-        except ValueError:
-            raise _BadRequest(f"k must be a non-negative integer: {raw!r}")
-        self._send(200, store.compare(a, b, k=k))
+        status, payload = handle_route(store, url.path, parse_qs(url.query))
+        self._send(status, payload)
 
     # ------------------------------------------------------------------
     def _send(self, status: int, payload) -> None:
         body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-
-class _BadRequest(Exception):
-    """A malformed query string; rendered as HTTP 400."""
-
-
-def _require(params: dict, name: str) -> str:
-    values = params.get(name)
-    if not values or not values[0]:
-        raise _BadRequest(f"missing query parameter: {name}")
-    return values[0]
-
-
-def _optional(params: dict, name: str) -> str | None:
-    values = params.get(name)
-    if not values or not values[0]:
-        return None
-    return values[0]
+        # A client that hangs up mid-response (load tests, impatient
+        # browsers) surfaces as a broken pipe on our side of the socket;
+        # that is the client's business, not a handler crash — drop the
+        # connection quietly instead of spewing a traceback per
+        # disconnect.
+        try:
+            self.send_response(status)
+            self.send_header(
+                "Content-Type", "application/json; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
 
 
 class TrustServer:
@@ -204,6 +93,7 @@ class TrustServer:
         self._httpd.store = store  # type: ignore[attr-defined]
         self._httpd.log_requests = log_requests  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
+        self._entered_loop = False
 
     @property
     def address(self) -> tuple[str, int]:
@@ -218,17 +108,28 @@ class TrustServer:
     def start(self) -> "TrustServer":
         """Serve in a daemon thread; returns self."""
         self._thread = threading.Thread(
-            target=self._httpd.serve_forever, daemon=True
+            target=self.serve_forever, daemon=True
         )
         self._thread.start()
         return self
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (the CLI path)."""
+        self._entered_loop = True
         self._httpd.serve_forever()
 
     def shutdown(self) -> None:
-        self._httpd.shutdown()
+        """Stop the serve loop (if running) and close the listening socket.
+
+        Safe to call whether :meth:`serve_forever` is running on another
+        thread or already exited (e.g. it raised ``KeyboardInterrupt``):
+        ``BaseServer.serve_forever`` marks itself shut down on *any*
+        exit. If the loop never started at all, the blocking stop
+        request is skipped — ``BaseServer.shutdown`` would wait forever
+        on an event only the loop sets — and just the socket is closed.
+        """
+        if self._entered_loop:
+            self._httpd.shutdown()
         if self._thread is not None:
             self._thread.join()
             self._thread = None
@@ -257,3 +158,8 @@ def serve(
         server.serve_forever()
     except KeyboardInterrupt:
         pass
+    finally:
+        # Ctrl-C lands here with the listening socket still open; without
+        # an explicit close it leaks until interpreter exit (and an
+        # immediate restart on the same port fails with EADDRINUSE).
+        server.shutdown()

@@ -1,0 +1,333 @@
+"""``MmapTrustStore``: the zero-copy serving view over a layout directory.
+
+The legacy :class:`~repro.serving.store.TrustStore` deserialises the
+*entire* artifact — every extraction posterior, prior, and observation
+cell — to serve lookups that only ever touch the aggregated score
+columns. This store opens a *serving layout*
+(:mod:`repro.io.mmap_layout`) instead: the score / support / percentile
+/ rank columns are read-only ``np.memmap`` views the kernel pages in on
+access, string keys decode lazily from mmapped blob columns, and the
+posterior mass never enters the process at all. What stays resident is
+one ``key -> row`` index dict (built in a single pass at open) — the
+price of O(1) lookups over string keys.
+
+Every JSON view is **byte-identical** to the legacy store over the same
+artifact: the exporter derives the columns from the legacy store's own
+aggregation, float64 values survive the ``.npy`` round trip bit-for-bit
+(and ``json.dumps`` renders floats by ``repr``), and the signal routes
+run through the same :class:`~repro.serving.store.SignalSurface` code —
+reconstructed lazily from the layout's signal columns on the first
+signal query, so KBT-only traffic never pays for it.
+
+Opening an *artifact path* transparently maintains the layout cache
+next to it (``<artifact>.layout/``): the layout is re-exported exactly
+when the artifact's sha256 (the serving ETag) differs from the cached
+manifest's, so repeated serves and hot swaps of an unchanged artifact
+reuse the unpacked columns.
+
+``close()`` drops the mmap references (the OS unmaps once the last
+array view dies). A :class:`~repro.serving.manager.StoreManager` only
+closes a store after the last in-flight request releases it, so
+requests never observe a half-closed store.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.core.kbt import KBTScore
+from repro.io.mmap_layout import (
+    LayoutError,
+    ServingLayout,
+    artifact_etag,
+    export_layout,
+)
+from repro.serving.store import SignalSurface, _score_json
+
+
+class MmapTrustStore:
+    """Zero-copy serving view over one exported artifact layout."""
+
+    def __init__(self, layout: ServingLayout) -> None:
+        self._layout = layout
+        manifest = layout.manifest
+        self._etag: str = manifest["etag"]
+        self._min_triples: float = manifest["min_triples"]
+        self._signal_entries: list[dict] = manifest["signals"]
+        self._fusion_weights: dict[str, float] = manifest["fusion_weights"]
+
+        # Mmapped numeric columns (the zero-copy heart of the store).
+        self._score = layout.array("site_score")
+        self._support = layout.array("site_support")
+        self._percentile = layout.array("site_percentile")
+        self._ranked = layout.array("ranked_idx")
+        self._page_score = layout.array("page_score")
+        self._page_support = layout.array("page_support")
+        self._contrib_ptr = layout.array("contrib_ptr")
+        self._contrib_accuracy = layout.array("contrib_accuracy")
+        self._contrib_support = layout.array("contrib_support")
+        self._contrib_meta = layout.strings("contrib_meta")
+
+        # The one resident structure: key -> row indexes (one pass).
+        self._site_keys = layout.strings("site_key").decode_all()
+        self._site_index = {
+            site: index for index, site in enumerate(self._site_keys)
+        }
+        page_sites = layout.strings("page_site").decode_all()
+        page_urls = layout.strings("page_url").decode_all()
+        self._page_index = {
+            (site, url): index
+            for index, (site, url) in enumerate(zip(page_sites, page_urls))
+        }
+        if len(self._site_keys) != len(self._score) or len(
+            self._page_index
+        ) != len(self._page_score):
+            raise LayoutError(
+                f"serving layout {layout.directory} is inconsistent "
+                "(key and score columns disagree); re-export it from "
+                "the artifact"
+            )
+
+        # The signal surface reconstructs lazily on first signal query.
+        self._surface: SignalSurface | None = None
+        self._surface_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Opening
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls, path: str | Path, layout_dir: str | Path | None = None
+    ) -> "MmapTrustStore":
+        """Open a layout directory, or an artifact via its layout cache.
+
+        For an artifact path, the layout lives at ``<artifact>.layout/``
+        (or ``layout_dir``) and is (re-)exported exactly when missing,
+        torn, or exported from different artifact bytes (ETag mismatch).
+        """
+        path = Path(path)
+        if path.is_dir():
+            return cls(ServingLayout(path))
+        etag = artifact_etag(path)
+        layout_dir = (
+            Path(layout_dir)
+            if layout_dir is not None
+            else Path(str(path) + ".layout")
+        )
+        try:
+            layout = ServingLayout(layout_dir)
+            if layout.etag == etag:
+                return cls(layout)
+        except LayoutError:
+            pass
+        export_layout(path, layout_dir, etag=etag)
+        return cls(ServingLayout(layout_dir))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def etag(self) -> str:
+        """The source artifact's sha256: the serving cache validator."""
+        return self._etag
+
+    @property
+    def directory(self) -> Path:
+        return self._layout.directory
+
+    @property
+    def min_triples(self) -> float:
+        return self._min_triples
+
+    def __len__(self) -> int:
+        return len(self._site_keys)
+
+    def __contains__(self, website: str) -> bool:
+        return website in self._site_index
+
+    def websites(self) -> Iterator[str]:
+        """Websites that cleared the reporting threshold."""
+        return iter(self._site_keys)
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._page_index)
+
+    # ------------------------------------------------------------------
+    # Queries (the TrustStore surface, answered from mmapped columns)
+    # ------------------------------------------------------------------
+    def score(self, website: str) -> KBTScore | None:
+        index = self._site_index.get(website)
+        if index is None:
+            return None
+        return KBTScore(
+            website, float(self._score[index]), float(self._support[index])
+        )
+
+    def score_page(self, website: str, page: str) -> KBTScore | None:
+        index = self._page_index.get((website, page))
+        if index is None:
+            return None
+        return KBTScore(
+            (website, page),
+            float(self._page_score[index]),
+            float(self._page_support[index]),
+        )
+
+    def batch(self, keys: Iterable[str]) -> dict[str, KBTScore | None]:
+        return {key: self.score(key) for key in keys}
+
+    def top(self, k: int = 10) -> list[KBTScore]:
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        return [
+            KBTScore(
+                self._site_keys[index],
+                float(self._score[index]),
+                float(self._support[index]),
+            )
+            for index in self._ranked[:k].tolist()
+        ]
+
+    def percentile(self, website: str) -> float | None:
+        index = self._site_index.get(website)
+        if index is None:
+            return None
+        return float(self._percentile[index])
+
+    def breakdown(self, website: str) -> dict | None:
+        index = self._site_index.get(website)
+        if index is None:
+            return None
+        lo = int(self._contrib_ptr[index])
+        hi = int(self._contrib_ptr[index + 1])
+        contributors = []
+        for row in range(lo, hi):
+            source, features, level = json.loads(self._contrib_meta[row])
+            contributors.append(
+                {
+                    "source": source,
+                    "features": features,
+                    "level": level,
+                    "accuracy": float(self._contrib_accuracy[row]),
+                    "support": float(self._contrib_support[row]),
+                }
+            )
+        return {
+            "key": website,
+            "score": float(self._score[index]),
+            "support": float(self._support[index]),
+            "percentile": float(self._percentile[index]),
+            "num_sources": len(contributors),
+            "sources": contributors,
+        }
+
+    # ------------------------------------------------------------------
+    # Trust signals (lazily reconstructed, then the shared surface)
+    # ------------------------------------------------------------------
+    @property
+    def has_signals(self) -> bool:
+        return bool(self._signal_entries)
+
+    def signal_names(self) -> list[str]:
+        return [entry["name"] for entry in self._signal_entries]
+
+    @property
+    def fusion_weights(self) -> dict[str, float]:
+        return self._signal_surface().weights
+
+    def fused_score(self, website: str) -> float | None:
+        return self._signal_surface().fused_score(website)
+
+    def signal_breakdown(self, website: str) -> dict | None:
+        return self._signal_surface().signal_breakdown(website)
+
+    def compare(self, a: str, b: str, k: int = 10) -> dict:
+        return self._signal_surface().compare(a, b, k=k)
+
+    def signals_json(self) -> dict:
+        return self._signal_surface().signals_json()
+
+    def _signal_surface(self) -> SignalSurface:
+        surface = self._surface
+        if surface is None:
+            with self._surface_lock:
+                surface = self._surface
+                if surface is None:
+                    surface = self._build_signal_surface()
+                    self._surface = surface
+        return surface
+
+    def _build_signal_surface(self) -> SignalSurface:
+        from repro.signals.base import SignalScores
+
+        table = self._layout.strings("signal_site").decode_all()
+        signals: dict[str, SignalScores] = {}
+        for index, entry in enumerate(self._signal_entries):
+            name = entry["name"]
+            site_idx = self._layout.array(f"sig{index}_site").tolist()
+            score_val = self._layout.array(f"sig{index}_score").tolist()
+            sup_idx = self._layout.array(f"sig{index}_sup_site").tolist()
+            sup_val = self._layout.array(f"sig{index}_sup_val").tolist()
+            signals[name] = SignalScores(
+                name=name,
+                scores={
+                    table[i]: value for i, value in zip(site_idx, score_val)
+                },
+                support={
+                    table[i]: value for i, value in zip(sup_idx, sup_val)
+                },
+                metadata=entry.get("metadata", {}),
+            )
+        return SignalSurface(signals, self._fusion_weights)
+
+    # ------------------------------------------------------------------
+    # JSON views (identical bytes to TrustStore's, route for route)
+    # ------------------------------------------------------------------
+    def score_json(self, website: str) -> dict | None:
+        score = self.score(website)
+        return None if score is None else _score_json(score)
+
+    def page_json(self, website: str, page: str) -> dict | None:
+        score = self.score_page(website, page)
+        return None if score is None else _score_json(score)
+
+    def batch_json(self, keys: Iterable[str]) -> dict:
+        return {
+            key: (None if score is None else _score_json(score))
+            for key, score in self.batch(keys).items()
+        }
+
+    def top_json(self, k: int = 10) -> list[dict]:
+        return [_score_json(score) for score in self.top(k)]
+
+    def stats_json(self) -> dict:
+        return {
+            "status": "ok",
+            "websites": len(self),
+            "pages": self.num_pages,
+            "min_triples": self.min_triples,
+            "signals": self.signal_names(),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop the mmap references; the OS unmaps with the last view.
+
+        Only call once no request holds the store — a
+        :class:`~repro.serving.manager.StoreManager` enforces this by
+        refcounting leases and closing on the last release.
+        """
+        self._score = self._support = self._percentile = None
+        self._ranked = self._page_score = self._page_support = None
+        self._contrib_ptr = self._contrib_accuracy = None
+        self._contrib_support = self._contrib_meta = None
+        self._surface = None
+
+
+__all__ = ["MmapTrustStore"]

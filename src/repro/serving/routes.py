@@ -1,0 +1,169 @@
+"""The one route table both HTTP frontends dispatch through.
+
+The legacy ``ThreadingHTTPServer`` endpoint (:mod:`repro.serving.http`)
+and the asyncio gateway (:mod:`repro.serving.gateway`) must serve
+**byte-identical** JSON bodies for the same artifact — that guarantee is
+what lets an operator move traffic between them (and what the parity
+tests assert). The only way to keep two frontends from drifting is to
+give them one routing function: :func:`handle_route` maps
+``(store, path, params)`` to ``(status, payload)`` with all parameter
+parsing, 400/404 semantics, and error strings in one place. Frontends
+own only transport concerns (sockets, headers, timeouts, caching).
+
+Any object exposing the :class:`~repro.serving.store.TrustStore` query
+surface works as the ``store`` — the in-memory ``TrustStore`` and the
+zero-copy :class:`~repro.serving.mmap_store.MmapTrustStore` both do.
+"""
+
+from __future__ import annotations
+
+from repro.signals.base import SignalError
+
+#: Routes whose payload depends only on the artifact and the query
+#: string — safe to answer from an ETag-validated cache (the gateway's
+#: ``If-None-Match`` -> 304 path). ``/healthz`` is deliberately absent:
+#: health probes must always hit the live store.
+CACHEABLE_ROUTES = frozenset(
+    {
+        "/score",
+        "/page",
+        "/batch",
+        "/top",
+        "/percentile",
+        "/breakdown",
+        "/signals",
+        "/compare",
+    }
+)
+
+
+class _BadRequest(Exception):
+    """A malformed query string; rendered as HTTP 400."""
+
+
+def _require(params: dict, name: str) -> str:
+    values = params.get(name)
+    if not values or not values[0]:
+        raise _BadRequest(f"missing query parameter: {name}")
+    return values[0]
+
+
+def _optional(params: dict, name: str) -> str | None:
+    values = params.get(name)
+    if not values or not values[0]:
+        return None
+    return values[0]
+
+
+def _parse_k(params: dict, default: str = "10") -> int:
+    raw = params.get("k", [default])[0]
+    try:
+        k = int(raw)
+        if k < 0:
+            raise ValueError
+    except ValueError:
+        raise _BadRequest(f"k must be a non-negative integer: {raw!r}")
+    return k
+
+
+# ----------------------------------------------------------------------
+# Route handlers: (store, params) -> (status, payload)
+# ----------------------------------------------------------------------
+def _healthz(store, params) -> tuple[int, object]:
+    return 200, store.stats_json()
+
+
+def _score(store, params) -> tuple[int, object]:
+    site = _require(params, "site")
+    payload = store.score_json(site)
+    if payload is None:
+        return 404, {"error": f"no score for website: {site}"}
+    return 200, payload
+
+
+def _page(store, params) -> tuple[int, object]:
+    site = _require(params, "site")
+    page = _require(params, "page")
+    payload = store.page_json(site, page)
+    if payload is None:
+        return 404, {"error": f"no score for webpage: {site} {page}"}
+    return 200, payload
+
+
+def _batch(store, params) -> tuple[int, object]:
+    sites = [site for site in _require(params, "sites").split(",") if site]
+    return 200, store.batch_json(sites)
+
+
+def _top(store, params) -> tuple[int, object]:
+    return 200, store.top_json(_parse_k(params))
+
+
+def _percentile(store, params) -> tuple[int, object]:
+    site = _require(params, "site")
+    percentile = store.percentile(site)
+    if percentile is None:
+        return 404, {"error": f"no score for website: {site}"}
+    return 200, {"key": site, "percentile": percentile}
+
+
+def _breakdown(store, params) -> tuple[int, object]:
+    site = _require(params, "site")
+    payload = store.breakdown(site)
+    if payload is None:
+        return 404, {"error": f"no score for website: {site}"}
+    return 200, payload
+
+
+def _signals(store, params) -> tuple[int, object]:
+    site = _optional(params, "site")
+    if site is None:
+        return 200, store.signals_json()
+    payload = store.signal_breakdown(site)
+    if payload is None:
+        return 404, {"error": f"no signal scores for website: {site}"}
+    return 200, payload
+
+
+def _compare(store, params) -> tuple[int, object]:
+    a = _require(params, "a")
+    b = _require(params, "b")
+    return 200, store.compare(a, b, k=_parse_k(params))
+
+
+_ROUTES = {
+    "/healthz": _healthz,
+    "/score": _score,
+    "/page": _page,
+    "/batch": _batch,
+    "/top": _top,
+    "/percentile": _percentile,
+    "/breakdown": _breakdown,
+    "/signals": _signals,
+    "/compare": _compare,
+}
+
+
+def handle_route(store, path: str, params: dict) -> tuple[int, object]:
+    """Answer one GET request against ``store``; never raises.
+
+    ``params`` is the ``urllib.parse.parse_qs`` form of the query
+    string. Returns ``(status, payload)`` where ``payload`` is the
+    JSON-serialisable body — unknown routes 404, malformed parameters
+    (including unknown signal names) 400, unexpected store failures 500,
+    exactly as the legacy endpoint always behaved.
+    """
+    handler = _ROUTES.get(path)
+    if handler is None:
+        return 404, {"error": f"unknown route: {path}"}
+    try:
+        return handler(store, params)
+    except _BadRequest as err:
+        return 400, {"error": str(err)}
+    except SignalError as err:
+        return 400, {"error": str(err)}
+    except Exception as err:  # noqa: BLE001 - last-resort JSON body
+        return 500, {"error": f"internal error: {type(err).__name__}: {err}"}
+
+
+__all__ = ["CACHEABLE_ROUTES", "handle_route"]

@@ -41,6 +41,85 @@ def _score_json(score: KBTScore) -> dict:
     return {"key": key, "score": score.score, "support": score.support}
 
 
+class SignalSurface:
+    """The multi-signal serving views, shared by every store kind.
+
+    Built from the artifact's named signal payloads and fusion weights,
+    it owns the :class:`SignalFrame`, the fused scores, and the JSON
+    views behind ``/signals`` and ``/compare``. Both the in-memory
+    :class:`TrustStore` (which builds it eagerly) and the zero-copy
+    ``MmapTrustStore`` (which reconstructs the payload dicts from the
+    mmap layout lazily, on the first signal query) delegate here, so the
+    two produce byte-identical signal-route JSON by construction.
+    """
+
+    def __init__(
+        self,
+        signals: dict[str, SignalScores],
+        fusion_weights: dict[str, float],
+    ) -> None:
+        self.frame = SignalFrame(signals.values())
+        if self.frame.names:
+            self.fusion = fuse(self.frame, weights=fusion_weights or None)
+        else:
+            self.fusion = fuse(self.frame)
+        #: per-signal rank view, materialised once (frame copies per call).
+        self._ranks = {
+            name: self.frame.ranks(name) for name in self.frame.names
+        }
+
+    @property
+    def names(self) -> list[str]:
+        return self.frame.names
+
+    @property
+    def weights(self) -> dict[str, float]:
+        return dict(self.fusion.weights)
+
+    def fused_score(self, website: str) -> float | None:
+        return self.fusion.scores.get(website)
+
+    def signal_breakdown(self, website: str) -> dict | None:
+        if not self.frame.names or website not in self.frame:
+            return None
+        signals = {}
+        for name in self.frame.names:
+            scores = self.frame.signal(name)
+            score = scores.get(website)
+            if score is None:
+                signals[name] = None
+                continue
+            signals[name] = {
+                "score": score,
+                "support": scores.support.get(website),
+                "rank": self._ranks[name].get(website),
+                "percentile": self.frame.percentile(name, website),
+                "weight": self.fusion.weights.get(name),
+            }
+        return {
+            "key": website,
+            "fused": self.fused_score(website),
+            "signals": signals,
+        }
+
+    def compare(self, a: str, b: str, k: int = 10) -> dict:
+        return self.frame.compare(a, b, k=k)
+
+    def signals_json(self) -> dict:
+        return {
+            "signals": [
+                {
+                    "name": name,
+                    "websites": len(self.frame.signal(name)),
+                    "weight": self.fusion.weights.get(name),
+                    "metadata": self.frame.signal(name).metadata,
+                }
+                for name in self.frame.names
+            ],
+            "fused_websites": len(self.fusion.scores),
+        }
+
+
 class TrustStore:
     """In-memory serving view over one fitted KBT artifact."""
 
@@ -68,17 +147,9 @@ class TrustStore:
                 (source, accuracy, source_support)
             )
         #: multi-signal view (empty frame for v1 / signal-less artifacts).
-        self._frame = SignalFrame(artifact.signals.values())
-        if self._frame.names:
-            self._fusion = fuse(
-                self._frame, weights=artifact.fusion_weights or None
-            )
-        else:
-            self._fusion = fuse(self._frame)
-        #: per-signal rank view, materialised once (frame copies per call).
-        self._signal_ranks = {
-            name: self._frame.ranks(name) for name in self._frame.names
-        }
+        self._signal_surface = SignalSurface(
+            artifact.signals, artifact.fusion_weights
+        )
 
     @classmethod
     def open(cls, path: str | Path) -> "TrustStore":
@@ -109,6 +180,14 @@ class TrustStore:
     @property
     def num_pages(self) -> int:
         return len(self._page_scores)
+
+    def page_scores(self) -> dict[tuple[str, str], KBTScore]:
+        """Every (website, webpage) score — the ``/page`` universe.
+
+        Insertion order is the aggregation order, which the serving
+        layout exporter (:mod:`repro.io.mmap_layout`) relies on.
+        """
+        return dict(self._page_scores)
 
     # ------------------------------------------------------------------
     # Queries
@@ -177,60 +256,40 @@ class TrustStore:
     # ------------------------------------------------------------------
     @property
     def has_signals(self) -> bool:
-        return bool(self._frame.names)
+        return bool(self._signal_surface.names)
 
     def signal_names(self) -> list[str]:
         """Names of the signals embedded in the artifact (may be empty)."""
-        return self._frame.names
+        return self._signal_surface.names
 
     @property
     def frame(self) -> SignalFrame:
         """The aligned multi-signal view (empty for v1 artifacts)."""
-        return self._frame
+        return self._signal_surface.frame
 
     @property
     def fusion_weights(self) -> dict[str, float]:
         """Per-signal fusion weights (empty without signals)."""
-        return dict(self._fusion.weights)
+        return self._signal_surface.weights
 
     def signal_scores(self, name: str) -> SignalScores:
         """One embedded signal's full payload; SignalError when unknown."""
-        return self._frame.signal(name)
+        return self._signal_surface.frame.signal(name)
 
     def fused_score(self, website: str) -> float | None:
         """The weighted-fusion trust score, or None when unscored."""
-        return self._fusion.scores.get(website)
+        return self._signal_surface.fused_score(website)
 
     def signal_breakdown(self, website: str) -> dict | None:
         """Every signal's take on one website, or None when no signal
         scores it. Reports score, support, dense rank, and percentile per
         signal (null where a signal does not cover the site), plus the
         fused score and the fusion weights."""
-        if not self.has_signals or website not in self._frame:
-            return None
-        signals = {}
-        for name in self._frame.names:
-            scores = self._frame.signal(name)
-            score = scores.get(website)
-            if score is None:
-                signals[name] = None
-                continue
-            signals[name] = {
-                "score": score,
-                "support": scores.support.get(website),
-                "rank": self._signal_ranks[name].get(website),
-                "percentile": self._frame.percentile(name, website),
-                "weight": self._fusion.weights.get(name),
-            }
-        return {
-            "key": website,
-            "fused": self.fused_score(website),
-            "signals": signals,
-        }
+        return self._signal_surface.signal_breakdown(website)
 
     def compare(self, a: str, b: str, k: int = 10) -> dict:
         """Two-signal disagreement view (see ``SignalFrame.compare``)."""
-        return self._frame.compare(a, b, k=k)
+        return self._signal_surface.compare(a, b, k=k)
 
     # ------------------------------------------------------------------
     # JSON views (shared by the HTTP endpoint and ``kbt query``)
@@ -254,18 +313,7 @@ class TrustStore:
 
     def signals_json(self) -> dict:
         """The signal listing: names, coverage, weights, metadata."""
-        return {
-            "signals": [
-                {
-                    "name": name,
-                    "websites": len(self._frame.signal(name)),
-                    "weight": self._fusion.weights.get(name),
-                    "metadata": self._frame.signal(name).metadata,
-                }
-                for name in self._frame.names
-            ],
-            "fused_websites": len(self._fusion.scores),
-        }
+        return self._signal_surface.signals_json()
 
     def stats_json(self) -> dict:
         return {
@@ -275,3 +323,11 @@ class TrustStore:
             "min_triples": self.min_triples,
             "signals": self.signal_names(),
         }
+
+    def close(self) -> None:
+        """Release the store (a no-op for the in-memory view).
+
+        Exists so a :class:`~repro.serving.manager.StoreManager` can hold
+        either store kind behind one lifecycle; the mmap-backed store
+        actually unmaps here.
+        """

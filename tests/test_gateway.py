@@ -1,0 +1,665 @@
+"""Serving-tier tests: layout export, MmapTrustStore parity, the asyncio
+gateway, and zero-downtime hot artifact swap."""
+
+import http.client
+import json
+import threading
+import time
+import zipfile
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.kbt import KBTEstimator
+from repro.core.types import (
+    DataItem,
+    ExtractionRecord,
+    ExtractorKey,
+    page_source,
+)
+from repro.io.artifact import _HEADER_MEMBER
+from repro.io.mmap_layout import (
+    LayoutError,
+    ServingLayout,
+    artifact_etag,
+    export_layout,
+)
+from repro.serving.gateway import GatewayThread
+from repro.serving.http import TrustRequestHandler, TrustServer, serve
+from repro.serving.manager import StoreManager
+from repro.serving.mmap_store import MmapTrustStore
+from repro.serving.routes import handle_route
+from repro.serving.store import TrustStore
+from repro.signals import CorpusContext, SignalSuite, fuse
+
+
+def page_records(website, url, extractor, items, value_fn):
+    return [
+        ExtractionRecord(
+            extractor=ExtractorKey((extractor,)),
+            source=page_source(website, "p", url),
+            item=DataItem(s, "p"),
+            value=value_fn(s),
+        )
+        for s in items
+    ]
+
+
+def corpus(extra_site=None):
+    records = []
+    subjects = [f"s{i}" for i in range(12)]
+    sites = ["a.com", "b.com", "c.com", "good.com"]
+    if extra_site:
+        sites.append(extra_site)
+    for i, site in enumerate(sites):
+        records.extend(
+            page_records(site, f"{site}/p", f"e{i % 2}", subjects,
+                         lambda s: f"true-{s}")
+        )
+    records.extend(
+        page_records("bad.com", "bad.com/p", "e0", subjects,
+                     lambda s: f"false-{s}")
+    )
+    return records
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    path = tmp_path_factory.mktemp("artifacts") / "model.kbt"
+    KBTEstimator().fit(corpus()).save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def artifact_b(tmp_path_factory):
+    """A second, different fit: the swap target."""
+    path = tmp_path_factory.mktemp("artifacts") / "model_b.kbt"
+    KBTEstimator().fit(corpus(extra_site="new.com")).save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def signal_artifact(tmp_path_factory):
+    fitted = KBTEstimator().fit(corpus())
+    context = CorpusContext(
+        observations=fitted.observations, fitted=fitted
+    )
+    frame = SignalSuite().run(context, "kbt,pagerank,copydetect")
+    gold = {site: site != "bad.com" for site in frame.websites()}
+    fusion = fuse(frame, gold_labels=gold)
+    path = tmp_path_factory.mktemp("artifacts") / "signals.kbt"
+    fitted.save(
+        path,
+        signals={name: frame.signal(name) for name in frame.names},
+        fusion_weights=fusion.weights,
+    )
+    return path
+
+
+#: Every route shape the serving tier answers, including error bodies.
+REQUESTS = [
+    ("/healthz", {}),
+    ("/score", {"site": ["good.com"]}),
+    ("/score", {"site": ["nosuch.example"]}),
+    ("/score", {}),
+    ("/page", {"site": ["good.com"], "page": ["good.com/p"]}),
+    ("/page", {"site": ["good.com"], "page": ["nope"]}),
+    ("/batch", {"sites": ["good.com,bad.com,nosuch.example"]}),
+    ("/top", {"k": ["3"]}),
+    ("/top", {"k": ["-1"]}),
+    ("/top", {}),
+    ("/percentile", {"site": ["bad.com"]}),
+    ("/percentile", {"site": ["nosuch"]}),
+    ("/breakdown", {"site": ["good.com"]}),
+    ("/breakdown", {"site": ["bad.com"]}),
+    ("/signals", {}),
+    ("/signals", {"site": ["good.com"]}),
+    ("/signals", {"site": ["nosuch"]}),
+    ("/compare", {"a": ["kbt"], "b": ["pagerank"], "k": ["5"]}),
+    ("/compare", {"a": ["kbt"], "b": ["nope"]}),
+    ("/nosuchroute", {}),
+]
+
+
+def render(store, path, params):
+    status, payload = handle_route(store, path, params)
+    return status, json.dumps(payload, ensure_ascii=False).encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Serving layout + MmapTrustStore
+# ----------------------------------------------------------------------
+class TestServingLayout:
+    def test_export_writes_manifest_last(self, artifact, tmp_path):
+        manifest_path = export_layout(artifact, tmp_path / "layout")
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["format"] == "kbt-serving-layout"
+        assert manifest["etag"] == artifact_etag(artifact)
+        assert manifest["num_sites"] == 5
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(LayoutError, match="re-export"):
+            ServingLayout(tmp_path)
+
+    def test_version_mismatch_raises(self, artifact, tmp_path):
+        manifest_path = export_layout(artifact, tmp_path / "layout")
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(LayoutError, match="version"):
+            ServingLayout(tmp_path / "layout")
+
+    def test_foreign_manifest_raises(self, tmp_path):
+        directory = tmp_path / "layout"
+        directory.mkdir()
+        (directory / "manifest.json").write_text('{"format": "other"}')
+        with pytest.raises(LayoutError, match="not a serving-layout"):
+            ServingLayout(directory)
+
+    def test_missing_column_raises(self, artifact, tmp_path):
+        export_layout(artifact, tmp_path / "layout")
+        (tmp_path / "layout" / "site_score.npy").unlink()
+        layout = ServingLayout(tmp_path / "layout")
+        with pytest.raises(LayoutError, match="re-export"):
+            layout.array("site_score")
+
+
+class TestMmapParity:
+    @pytest.mark.parametrize("path,params", REQUESTS)
+    def test_plain_routes_byte_identical(self, artifact, path, params):
+        legacy = TrustStore.open(artifact)
+        mmapped = MmapTrustStore.open(artifact)
+        assert render(mmapped, path, params) == render(legacy, path, params)
+
+    @pytest.mark.parametrize("path,params", REQUESTS)
+    def test_signal_routes_byte_identical(
+        self, signal_artifact, path, params
+    ):
+        legacy = TrustStore.open(signal_artifact)
+        mmapped = MmapTrustStore.open(signal_artifact)
+        assert render(mmapped, path, params) == render(legacy, path, params)
+
+    def test_open_reuses_cached_layout(self, artifact):
+        store = MmapTrustStore.open(artifact)
+        manifest = store.directory / "manifest.json"
+        mtime = manifest.stat().st_mtime_ns
+        again = MmapTrustStore.open(artifact)
+        assert manifest.stat().st_mtime_ns == mtime
+        assert again.etag == store.etag == artifact_etag(artifact)
+
+    def test_stale_layout_is_reexported(self, tmp_path):
+        path = tmp_path / "model.kbt"
+        KBTEstimator().fit(corpus()).save(path)
+        first = MmapTrustStore.open(path)
+        KBTEstimator().fit(corpus(extra_site="fresh.com")).save(path)
+        second = MmapTrustStore.open(path)
+        assert second.etag != first.etag
+        assert second.etag == artifact_etag(path)
+        assert "fresh.com" in second
+
+
+# ----------------------------------------------------------------------
+# StoreManager: refcounted swap
+# ----------------------------------------------------------------------
+class _ClosableStore:
+    def __init__(self, etag="e0"):
+        self.etag = etag
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+class TestStoreManager:
+    def test_swap_defers_close_until_lease_released(self):
+        old = _ClosableStore("old")
+        new = _ClosableStore("new")
+        manager = StoreManager(old, opener=lambda path: new)
+        lease = manager.acquire()
+        assert manager.swap("whatever") is new
+        assert manager.etag == "new"
+        # The in-flight request still holds the old store, un-closed.
+        assert lease.store is old
+        assert not old.closed
+        lease.release()
+        assert old.closed
+        assert not new.closed
+
+    def test_swap_closes_idle_old_store_immediately(self):
+        old = _ClosableStore()
+        manager = StoreManager(old, opener=lambda path: _ClosableStore())
+        manager.swap("whatever")
+        assert old.closed
+
+    def test_failed_swap_keeps_current_store(self):
+        old = _ClosableStore("old")
+
+        def opener(path):
+            raise LayoutError("boom")
+
+        manager = StoreManager(old, opener=opener)
+        with pytest.raises(LayoutError):
+            manager.swap("whatever")
+        assert manager.etag == "old"
+        assert not old.closed
+        assert manager.generation == 0
+
+    def test_release_is_idempotent(self):
+        manager = StoreManager(_ClosableStore())
+        lease = manager.acquire()
+        lease.release()
+        lease.release()
+        with pytest.raises(RuntimeError):
+            lease.store
+
+
+# ----------------------------------------------------------------------
+# Gateway over HTTP
+# ----------------------------------------------------------------------
+def http_get(address, path, headers=None):
+    connection = http.client.HTTPConnection(*address, timeout=10)
+    try:
+        connection.request("GET", path, headers=headers or {})
+        response = connection.getresponse()
+        return response.status, response.read(), dict(response.getheaders())
+    finally:
+        connection.close()
+
+
+def http_post(address, path, body):
+    connection = http.client.HTTPConnection(*address, timeout=10)
+    try:
+        connection.request(
+            "POST", path, body=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+class TestGatewayHttp:
+    GET_PATHS = [
+        "/healthz",
+        "/score?site=good.com",
+        "/score?site=nosuch.example",
+        "/score",
+        "/page?site=good.com&page=good.com%2Fp",
+        "/batch?sites=good.com,bad.com,nosuch.example",
+        "/top?k=3",
+        "/top?k=bogus",
+        "/percentile?site=bad.com",
+        "/breakdown?site=good.com",
+        "/signals",
+        "/signals?site=good.com",
+        "/compare?a=kbt&b=pagerank&k=5",
+        "/compare?a=kbt&b=nope",
+        "/nosuchroute",
+    ]
+
+    def test_byte_parity_with_legacy_server(self, signal_artifact):
+        manager = StoreManager(MmapTrustStore.open(signal_artifact))
+        legacy = TrustServer(TrustStore.open(signal_artifact), port=0).start()
+        gateway = GatewayThread(manager).start()
+        try:
+            for path in self.GET_PATHS:
+                s1, b1, _ = http_get(legacy.address, path)
+                s2, b2, _ = http_get(gateway.address, path)
+                assert (s1, b1) == (s2, b2), path
+        finally:
+            gateway.stop()
+            legacy.shutdown()
+
+    def test_etag_roundtrip_and_304(self, signal_artifact):
+        manager = StoreManager(MmapTrustStore.open(signal_artifact))
+        gateway = GatewayThread(manager).start()
+        try:
+            status, body, headers = http_get(
+                gateway.address, "/score?site=good.com"
+            )
+            assert status == 200
+            etag = headers["ETag"]
+            assert etag == f'"{manager.etag}"'
+            status, cached, headers = http_get(
+                gateway.address, "/score?site=good.com"
+            )
+            assert (status, cached) == (200, body)  # LRU hit, same bytes
+            status, empty, _ = http_get(
+                gateway.address,
+                "/score?site=good.com",
+                {"If-None-Match": etag},
+            )
+            assert (status, empty) == (304, b"")
+            # A different validator misses and serves the full body.
+            status, body2, _ = http_get(
+                gateway.address,
+                "/score?site=good.com",
+                {"If-None-Match": '"deadbeef"'},
+            )
+            assert (status, body2) == (200, body)
+        finally:
+            gateway.stop()
+
+    def test_healthz_is_never_cached(self, signal_artifact):
+        manager = StoreManager(MmapTrustStore.open(signal_artifact))
+        gateway = GatewayThread(manager).start()
+        try:
+            status, _, headers = http_get(gateway.address, "/healthz")
+            assert status == 200
+            assert "ETag" not in headers
+            status, _, _ = http_get(
+                gateway.address,
+                "/healthz",
+                {"If-None-Match": f'"{manager.etag}"'},
+            )
+            assert status == 200
+        finally:
+            gateway.stop()
+
+    def test_post_batch_matches_get_batch(self, signal_artifact):
+        manager = StoreManager(MmapTrustStore.open(signal_artifact))
+        gateway = GatewayThread(manager, batch_chunk=2).start()
+        try:
+            sites = ["good.com", "bad.com", "a.com", "zz", "b.com"]
+            _, get_body, _ = http_get(
+                gateway.address, "/batch?sites=" + ",".join(sites)
+            )
+            status, post_body = http_post(
+                gateway.address, "/batch", {"sites": sites}
+            )
+            assert status == 200
+            assert post_body == get_body
+
+            status, body = http_post(
+                gateway.address, "/batch", {"wrong": "shape"}
+            )
+            assert status == 400
+            assert b"sites" in body
+        finally:
+            gateway.stop()
+
+    def test_readyz_reports_etag_and_generation(self, signal_artifact):
+        manager = StoreManager(MmapTrustStore.open(signal_artifact))
+        gateway = GatewayThread(manager).start()
+        try:
+            status, body, _ = http_get(gateway.address, "/readyz")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload == {
+                "status": "ready",
+                "etag": manager.etag,
+                "generation": 0,
+            }
+        finally:
+            gateway.stop()
+
+    def test_readyz_503_when_draining(self, signal_artifact):
+        manager = StoreManager(MmapTrustStore.open(signal_artifact))
+        gateway = GatewayThread(manager).start()
+        gateway.gateway._draining = True
+        try:
+            connection = http.client.HTTPConnection(
+                *gateway.address, timeout=10
+            )
+            connection.request("GET", "/readyz")
+            response = connection.getresponse()
+            assert response.status == 503
+            assert json.loads(response.read()) == {
+                "error": "server is draining"
+            }
+            connection.close()
+        finally:
+            gateway.gateway._draining = False
+            gateway.stop()
+
+    def test_method_not_allowed(self, signal_artifact):
+        manager = StoreManager(MmapTrustStore.open(signal_artifact))
+        gateway = GatewayThread(manager).start()
+        try:
+            status, body = http_post(
+                gateway.address, "/score", {"site": "good.com"}
+            )
+            assert status == 405
+        finally:
+            gateway.stop()
+
+    def test_connection_limit_503(self, signal_artifact):
+        manager = StoreManager(MmapTrustStore.open(signal_artifact))
+        gateway = GatewayThread(manager, max_connections=1).start()
+        try:
+            held = http.client.HTTPConnection(*gateway.address, timeout=10)
+            held.request("GET", "/healthz")
+            held.getresponse().read()  # keep-alive: socket stays counted
+            status, body, _ = http_get(gateway.address, "/healthz")
+            assert status == 503
+            assert json.loads(body) == {"error": "connection limit reached"}
+            held.close()
+        finally:
+            gateway.stop()
+
+    def test_request_timeout_504(self):
+        class SlowStore:
+            def score_json(self, site):
+                time.sleep(1.0)
+                return {"key": site}
+
+            def close(self):
+                pass
+
+        manager = StoreManager(SlowStore())
+        gateway = GatewayThread(manager, request_timeout=0.2).start()
+        try:
+            status, body, _ = http_get(
+                gateway.address, "/score?site=good.com"
+            )
+            assert status == 504
+            assert json.loads(body) == {"error": "request timed out"}
+        finally:
+            gateway.stop()
+
+
+# ----------------------------------------------------------------------
+# Hot swap
+# ----------------------------------------------------------------------
+class TestHotSwap:
+    def test_swap_under_concurrent_load(self, artifact, artifact_b):
+        """Clients hammering the gateway across repeated swaps see only
+        complete responses from exactly one artifact generation — never
+        an error, never a torn or mixed body."""
+        probes = ["/score?site=good.com", "/top?k=5", "/healthz",
+                  "/breakdown?site=bad.com"]
+        allowed: dict[str, set[bytes]] = {}
+        for art in (artifact, artifact_b):
+            store = MmapTrustStore.open(art)
+            for probe in probes:
+                path, _, query = probe.partition("?")
+                params = {
+                    k: [v]
+                    for k, v in (
+                        pair.split("=") for pair in query.split("&") if pair
+                    )
+                }
+                _, body = render(store, path, params)
+                allowed.setdefault(probe, set()).add(body)
+
+        manager = StoreManager(MmapTrustStore.open(artifact))
+        gateway = GatewayThread(manager, workers=8).start()
+        failures: list[str] = []
+        stop = threading.Event()
+
+        def client(worker: int) -> None:
+            connection = http.client.HTTPConnection(
+                *gateway.address, timeout=10
+            )
+            try:
+                n = 0
+                while not stop.is_set() or n < 20:
+                    probe = probes[n % len(probes)]
+                    n += 1
+                    connection.request("GET", probe)
+                    response = connection.getresponse()
+                    body = response.read()
+                    if response.status != 200:
+                        failures.append(
+                            f"{probe}: status {response.status}"
+                        )
+                    elif body not in allowed[probe]:
+                        failures.append(f"{probe}: torn body {body!r}")
+                    if stop.is_set() and n >= 20:
+                        break
+            except Exception as err:  # noqa: BLE001 - recorded as failure
+                failures.append(f"client {worker}: {type(err).__name__}: {err}")
+            finally:
+                connection.close()
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(6)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for target in (artifact_b, artifact, artifact_b):
+                time.sleep(0.05)
+                manager.swap(target)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        finally:
+            stop.set()
+            gateway.stop()
+        assert not failures, failures[:5]
+        assert manager.generation == 3
+
+    def test_corrupt_swap_rejected_old_store_serves(
+        self, artifact, tmp_path
+    ):
+        manager = StoreManager(MmapTrustStore.open(artifact))
+        gateway = GatewayThread(manager).start()
+        corrupt = tmp_path / "corrupt.kbt"
+        corrupt.write_bytes(b"this is not a zip archive")
+        try:
+            before = http_get(gateway.address, "/score?site=good.com")
+            status, body = http_post(
+                gateway.address, "/admin/swap", {"artifact": str(corrupt)}
+            )
+            assert status == 400
+            assert b"swap rejected" in body
+            after = http_get(gateway.address, "/score?site=good.com")
+            assert after[:2] == before[:2]
+            assert manager.generation == 0
+        finally:
+            gateway.stop()
+
+    def test_version_mismatch_swap_rejected(self, artifact, tmp_path):
+        """An artifact stamped with a future format version is refused
+        at swap time; the old store keeps serving."""
+        future = tmp_path / "future.kbt"
+        with zipfile.ZipFile(artifact) as source:
+            members = {
+                name: source.read(name) for name in source.namelist()
+            }
+        header = json.loads(members[_HEADER_MEMBER])
+        header["format_version"] = 99
+        members[_HEADER_MEMBER] = json.dumps(header).encode("utf-8")
+        with zipfile.ZipFile(future, "w") as out:
+            for name, data in members.items():
+                out.writestr(name, data)
+
+        manager = StoreManager(MmapTrustStore.open(artifact))
+        gateway = GatewayThread(manager).start()
+        try:
+            status, body = http_post(
+                gateway.address, "/admin/swap", {"artifact": str(future)}
+            )
+            assert status == 400
+            assert b"swap rejected" in body
+            assert b"99" in body
+            status, _, _ = http_get(gateway.address, "/score?site=good.com")
+            assert status == 200
+            assert manager.generation == 0
+        finally:
+            gateway.stop()
+
+    def test_swap_bad_body_400(self, artifact):
+        manager = StoreManager(MmapTrustStore.open(artifact))
+        gateway = GatewayThread(manager).start()
+        try:
+            status, body = http_post(
+                gateway.address, "/admin/swap", {"nope": 1}
+            )
+            assert status == 400
+        finally:
+            gateway.stop()
+
+    def test_kbt_swap_cli(self, artifact, artifact_b, capsys):
+        manager = StoreManager(MmapTrustStore.open(artifact))
+        gateway = GatewayThread(manager).start()
+        try:
+            host, port = gateway.address
+            exit_code = cli_main(
+                ["swap", str(artifact_b), "--server", f"{host}:{port}"]
+            )
+            assert exit_code == 0
+            out = capsys.readouterr().out
+            assert "generation 1" in out
+            assert manager.etag == artifact_etag(artifact_b)
+
+            exit_code = cli_main(
+                ["swap", "/nonexistent.kbt", "--server", f"{host}:{port}"]
+            )
+            assert exit_code == 1
+            assert "swap failed" in capsys.readouterr().err
+        finally:
+            gateway.stop()
+
+    def test_kbt_swap_unreachable_server(self, artifact, capsys):
+        exit_code = cli_main(
+            ["swap", str(artifact), "--server", "127.0.0.1:9"]
+        )
+        assert exit_code == 1
+        assert "cannot reach gateway" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Legacy endpoint regressions
+# ----------------------------------------------------------------------
+class TestLegacyServerFixes:
+    def test_serve_closes_socket_on_keyboard_interrupt(
+        self, artifact, monkeypatch, capsys
+    ):
+        created = []
+        original = TrustServer.__init__
+
+        def recording_init(self, *args, **kwargs):
+            original(self, *args, **kwargs)
+            created.append(self)
+
+        def interrupted(self):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(TrustServer, "__init__", recording_init)
+        monkeypatch.setattr(TrustServer, "serve_forever", interrupted)
+        serve(TrustStore.open(artifact), port=0, log_requests=False)
+        assert len(created) == 1
+        # The listening socket must be closed, not leaked until exit.
+        assert created[0]._httpd.socket.fileno() == -1
+
+    def test_send_swallows_broken_pipe(self):
+        class BrokenPipe:
+            def write(self, data):
+                raise BrokenPipeError
+
+            def flush(self):
+                pass
+
+        handler = TrustRequestHandler.__new__(TrustRequestHandler)
+        handler.request_version = "HTTP/1.1"
+        handler.requestline = "GET /score HTTP/1.1"
+        handler.client_address = ("127.0.0.1", 0)
+        handler.server = SimpleNamespace(log_requests=False)
+        handler.wfile = BrokenPipe()
+        handler.close_connection = False
+        handler._send(200, {"key": "good.com"})
+        assert handler.close_connection is True
