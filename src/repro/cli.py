@@ -39,7 +39,11 @@ The subcommands mirror the fit -> persist -> query lifecycle:
           --request-timeout 30
 
 * ``swap`` — point a running gateway at a freshly fitted artifact,
-  without dropping a single in-flight request::
+  without dropping a single in-flight request. The gateway's admin
+  endpoint accepts loopback clients by default; a shared secret
+  (``kbt serve --gateway --admin-token`` / ``kbt swap --token``, or
+  ``KBT_ADMIN_TOKEN`` for both) is required to swap from anywhere
+  else::
 
       kbt swap model_v2.kbt --server 127.0.0.1:8080
 
@@ -224,6 +228,14 @@ def build_parser() -> argparse.ArgumentParser:
             "(default 8)"
         ),
     )
+    serve.add_argument(
+        "--admin-token", default=None, metavar="SECRET",
+        help=(
+            "gateway only: shared secret required (as X-Admin-Token) "
+            "on POST /admin/swap; defaults to $KBT_ADMIN_TOKEN. "
+            "Without one, only loopback clients may swap"
+        ),
+    )
 
     swap = sub.add_parser(
         "swap",
@@ -239,6 +251,15 @@ def build_parser() -> argparse.ArgumentParser:
     swap.add_argument(
         "--server", default="127.0.0.1:8080", metavar="HOST:PORT",
         help="the running 'kbt serve --gateway' to update",
+    )
+    swap.add_argument(
+        "--token", default=None, metavar="SECRET",
+        help=(
+            "admin token sent as X-Admin-Token; defaults to "
+            "$KBT_ADMIN_TOKEN (needed when the gateway was started "
+            "with --admin-token, or when swapping from a non-loopback "
+            "client)"
+        ),
     )
 
     update = sub.add_parser(
@@ -708,6 +729,8 @@ def run_compare(args: argparse.Namespace) -> int:
 
 def run_serve(args: argparse.Namespace) -> int:
     if args.gateway:
+        import os
+
         from repro.serving.gateway import serve_gateway
         from repro.serving.mmap_store import MmapTrustStore
 
@@ -718,6 +741,9 @@ def run_serve(args: argparse.Namespace) -> int:
             max_connections=args.max_connections,
             request_timeout=args.request_timeout,
             workers=args.workers,
+            admin_token=(
+                args.admin_token or os.environ.get("KBT_ADMIN_TOKEN")
+            ),
         )
         return 0
     from repro.serving.http import serve
@@ -728,6 +754,7 @@ def run_serve(args: argparse.Namespace) -> int:
 
 
 def run_swap(args: argparse.Namespace) -> int:
+    import os
     import urllib.error
     import urllib.request
     from pathlib import Path
@@ -735,10 +762,14 @@ def run_swap(args: argparse.Namespace) -> int:
     body = json.dumps(
         {"artifact": str(Path(args.artifact).resolve())}
     ).encode("utf-8")
+    headers = {"Content-Type": "application/json"}
+    token = args.token or os.environ.get("KBT_ADMIN_TOKEN")
+    if token:
+        headers["X-Admin-Token"] = token
     request = urllib.request.Request(
         f"http://{args.server}/admin/swap",
         data=body,
-        headers={"Content-Type": "application/json"},
+        headers=headers,
         method="POST",
     )
     try:

@@ -33,12 +33,26 @@ A missing, foreign, or torn layout raises :class:`LayoutError` (a
 and atomically, a crashed export is detected as "no manifest", never
 half-read. Layouts are re-derivable at any time: delete the directory
 and re-export from the artifact.
+
+A layout directory is **immutable once it exists**: an export builds
+the whole layout in a hidden temp sibling and renames it into place in
+one atomic step, and :func:`export_layout` *refuses* to write into a
+directory that already exists (unless it already holds this exact
+export, which is simply reused). Rewriting in place would truncate
+``.npy`` files under any live ``np.memmap`` view of them — a reader
+would see torn data or die with SIGBUS — so a stale layout is replaced
+by exporting to a *new* directory, never by overwriting the old one
+(deleting the old directory is safe on POSIX: unlinked inodes survive
+until the last mapping goes away).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import shutil
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -119,6 +133,17 @@ class StringColumn:
 # ----------------------------------------------------------------------
 # Export: artifact -> layout directory
 # ----------------------------------------------------------------------
+def _reusable_manifest(directory: Path, etag: str) -> Path | None:
+    """The manifest path if ``directory`` already holds this exact export."""
+    try:
+        layout = ServingLayout(directory)
+    except LayoutError:
+        return None
+    if layout.etag != etag:
+        return None
+    return directory / _MANIFEST
+
+
 def export_layout(
     artifact_path: str | Path,
     directory: str | Path,
@@ -129,21 +154,70 @@ def export_layout(
     The heavy lifting — score aggregation, ranking, percentiles,
     provenance — runs through the legacy ``TrustStore`` over the loaded
     artifact, so the exported columns reproduce its serving views
-    exactly. The manifest is written last and atomically; re-exporting
-    into the same directory overwrites it deterministically.
-    """
-    # Lazy import: repro.serving imports repro.io, not the reverse.
-    from repro.serving.store import TrustStore
+    exactly.
 
+    The layout is built in a hidden temp sibling and renamed into place
+    atomically, so ``directory`` either does not exist or is complete.
+    An existing ``directory`` is never rewritten — its ``.npy`` files
+    may be mmapped by a live store, and truncating them would tear or
+    SIGBUS concurrent readers. If it already holds this exact export
+    (same ETag) it is reused as-is — which also makes concurrent
+    exports of the same artifact converge instead of clobbering each
+    other; anything else raises :class:`LayoutError` naming the remedy
+    (export to a fresh directory, or delete the stale one first).
+    """
     artifact_path = Path(artifact_path)
     directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    manifest_path = directory / _MANIFEST
-    # A stale manifest must not survive a partial rewrite.
-    manifest_path.unlink(missing_ok=True)
     if etag is None:
         etag = artifact_etag(artifact_path)
 
+    existing = _reusable_manifest(directory, etag)
+    if existing is not None:
+        return existing
+    if directory.exists():
+        raise LayoutError(
+            f"refusing to export into existing directory {directory}: it "
+            "holds a different or torn layout whose files may be mmapped "
+            "by a live store (rewriting would tear concurrent readers) — "
+            "export to a fresh directory, or delete this one first"
+        )
+
+    directory.parent.mkdir(parents=True, exist_ok=True)
+    staging = Path(
+        tempfile.mkdtemp(
+            prefix=f".{directory.name}.tmp-", dir=directory.parent
+        )
+    )
+    try:
+        _export_into(artifact_path, staging, etag)
+        try:
+            os.rename(staging, directory)
+        except OSError as err:
+            # Lost a race against a concurrent export of the same
+            # artifact: reuse the winner. Anything else is a refusal.
+            existing = _reusable_manifest(directory, etag)
+            if existing is not None:
+                return existing
+            raise LayoutError(
+                f"cannot move exported layout into place at {directory}: "
+                f"{err}; the target appeared mid-export and does not "
+                "match this artifact — export to a fresh directory"
+            ) from err
+    finally:
+        if staging.exists():
+            shutil.rmtree(staging, ignore_errors=True)
+    return directory / _MANIFEST
+
+
+def _export_into(
+    artifact_path: Path, directory: Path, etag: str
+) -> None:
+    """Write every column + the manifest (last, atomically) into
+    ``directory`` — a private staging dir nothing can have mmapped."""
+    # Lazy import: repro.serving imports repro.io, not the reverse.
+    from repro.serving.store import TrustStore
+
+    manifest_path = directory / _MANIFEST
     store = TrustStore.open(artifact_path)
     artifact = store.artifact
 
@@ -272,7 +346,6 @@ def export_layout(
     }
     with atomic_write(manifest_path, "w", encoding="utf-8") as handle:
         handle.write(json.dumps(manifest, indent=1) + "\n")
-    return manifest_path
 
 
 # ----------------------------------------------------------------------

@@ -34,7 +34,11 @@ adds the serving-tier machinery around them:
   400 while the old store keeps serving) and flips atomically via the
   refcounted :class:`~repro.serving.manager.StoreManager`: in-flight
   requests finish on the store they started with, zero dropped, zero
-  torn.
+  torn. The endpoint is **authenticated**: with ``admin_token`` set,
+  the request must carry it in ``X-Admin-Token`` (constant-time
+  compare); without a token only loopback clients are accepted — so
+  binding ``0.0.0.0`` never exposes an open swap endpoint that could
+  repoint the gateway at arbitrary server-side paths.
 * **/healthz vs /readyz** — ``/healthz`` is the legacy liveness body
   (byte-identical stats); ``/readyz`` is gateway-only readiness: 200
   with the current ETag and swap generation, 503 once draining.
@@ -46,6 +50,8 @@ adds the serving-tier machinery around them:
 from __future__ import annotations
 
 import asyncio
+import hmac
+import ipaddress
 import json
 import signal
 import threading
@@ -113,6 +119,7 @@ class Gateway:
         batch_chunk: int = 512,
         batch_fanout: int = 4,
         cache_size: int = 1024,
+        admin_token: str | None = None,
     ) -> None:
         self.manager = manager
         self.host = host
@@ -121,6 +128,7 @@ class Gateway:
         self.request_timeout = request_timeout
         self.batch_chunk = batch_chunk
         self.batch_fanout = batch_fanout
+        self.admin_token = admin_token
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="kbt-gateway"
         )
@@ -294,11 +302,24 @@ class Gateway:
             await self._respond(writer, *self._readyz())
             return keep_alive
         if method == "POST" and path == "/admin/swap":
+            if not self._admin_allowed(
+                headers, writer.get_extra_info("peername")
+            ):
+                await self._respond(
+                    writer,
+                    403,
+                    {
+                        "error": "admin endpoint requires a matching "
+                        "X-Admin-Token header (or, with no token "
+                        "configured, a loopback client)"
+                    },
+                )
+                return keep_alive
             status, payload = await self._swap(body)
             await self._respond(writer, status, payload)
             return keep_alive
         if method == "POST" and path == "/batch":
-            return await self._batch_post(writer, headers, body, keep_alive)
+            return await self._batch_post(writer, body, keep_alive)
         if method != "GET":
             await self._respond(
                 writer,
@@ -400,7 +421,6 @@ class Gateway:
     async def _batch_post(
         self,
         writer: asyncio.StreamWriter,
-        headers: dict[str, str],
         body: bytes,
         keep_alive: bool,
     ) -> bool:
@@ -419,13 +439,10 @@ class Gateway:
             )
             return keep_alive
 
+        # No If-None-Match short-circuit here: 304 is defined only for
+        # conditional GET/HEAD, and a POST is executed unconditionally.
         lease = self.manager.acquire()
         etag = getattr(lease.store, "etag", None)
-        if _match_etag(headers.get("if-none-match"), etag):
-            lease.release()
-            await self._respond(writer, 304, body=b"", etag=etag)
-            return keep_alive
-
         chunks = [
             sites[i : i + self.batch_chunk]
             for i in range(0, len(sites), self.batch_chunk)
@@ -484,6 +501,26 @@ class Gateway:
             "etag": self.manager.etag,
             "generation": self.manager.generation,
         }
+
+    def _admin_allowed(self, headers: dict[str, str], peer) -> bool:
+        """May this client hit ``/admin/swap``?
+
+        With a configured token, only a constant-time ``X-Admin-Token``
+        match passes — regardless of where the client connects from.
+        Without one, only loopback peers pass, so the admin surface
+        stays closed when the serving port is bound beyond localhost.
+        """
+        if self.admin_token is not None:
+            supplied = headers.get("x-admin-token", "")
+            return hmac.compare_digest(
+                supplied.encode("utf-8"), self.admin_token.encode("utf-8")
+            )
+        if not isinstance(peer, tuple) or not peer:
+            return False
+        try:
+            return ipaddress.ip_address(peer[0]).is_loopback
+        except ValueError:
+            return False
 
     async def _swap(self, body: bytes) -> tuple[int, dict]:
         try:
@@ -559,13 +596,16 @@ def serve_gateway(
     max_connections: int = 256,
     request_timeout: float = 30.0,
     workers: int = 8,
+    admin_token: str | None = None,
 ) -> None:
     """Blocking convenience wrapper used by ``kbt serve --gateway``.
 
     ``store`` is any TrustStore-surface object (normally an
     ``MmapTrustStore``) or a ready-made :class:`StoreManager`. Ctrl-C
     and SIGTERM (what systemd, Kubernetes, and CI send) both trigger
-    the draining shutdown before the process exits.
+    the draining shutdown before the process exits. ``admin_token``
+    gates ``POST /admin/swap``; without one the endpoint only accepts
+    loopback clients.
     """
     manager = store if isinstance(store, StoreManager) else StoreManager(store)
 
@@ -577,6 +617,7 @@ def serve_gateway(
             max_connections=max_connections,
             request_timeout=request_timeout,
             workers=workers,
+            admin_token=admin_token,
         )
         await gateway.start()
         bound_host, bound_port = gateway.address

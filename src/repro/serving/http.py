@@ -110,6 +110,14 @@ class TrustServer:
         self._thread = threading.Thread(
             target=self.serve_forever, daemon=True
         )
+        # Mark the loop as (about to be) entered BEFORE the thread
+        # launches: if shutdown() ran first with the flag still unset,
+        # it would skip the stop request, then join() a thread that
+        # proceeds into serve_forever and never exits. Setting it here
+        # is safe — the thread is guaranteed to reach serve_forever,
+        # which honours a stop request issued even before its loop
+        # starts.
+        self._entered_loop = True
         self._thread.start()
         return self
 

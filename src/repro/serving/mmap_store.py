@@ -19,11 +19,16 @@ run through the same :class:`~repro.serving.store.SignalSurface` code —
 reconstructed lazily from the layout's signal columns on the first
 signal query, so KBT-only traffic never pays for it.
 
-Opening an *artifact path* transparently maintains the layout cache
-next to it (``<artifact>.layout/``): the layout is re-exported exactly
-when the artifact's sha256 (the serving ETag) differs from the cached
-manifest's, so repeated serves and hot swaps of an unchanged artifact
-reuse the unpacked columns.
+Opening an *artifact path* transparently maintains a layout cache next
+to it, **keyed by the artifact's sha256** (the serving ETag):
+``<artifact>.layout-<etag prefix>/``. A refit — even in place, same
+path, new bytes — therefore exports into a *fresh* directory and never
+touches the columns a live store has mmapped (rewriting them would
+tear or SIGBUS concurrent readers; see :mod:`repro.io.mmap_layout`).
+Repeated opens of unchanged bytes reuse the cached columns, and stale
+cache generations are garbage-collected best-effort after a successful
+export — safe on POSIX, where unlinked files survive until the last
+mapping drops.
 
 ``close()`` drops the mmap references (the OS unmaps once the last
 array view dies). A :class:`~repro.serving.manager.StoreManager` only
@@ -34,6 +39,7 @@ requests never observe a half-closed store.
 from __future__ import annotations
 
 import json
+import shutil
 import threading
 from collections.abc import Iterable, Iterator
 from pathlib import Path
@@ -104,27 +110,68 @@ class MmapTrustStore:
     ) -> "MmapTrustStore":
         """Open a layout directory, or an artifact via its layout cache.
 
-        For an artifact path, the layout lives at ``<artifact>.layout/``
-        (or ``layout_dir``) and is (re-)exported exactly when missing,
-        torn, or exported from different artifact bytes (ETag mismatch).
+        For an artifact path, the layout lives at
+        ``<artifact>.layout-<etag prefix>/`` (or ``layout_dir``) and is
+        exported exactly when no cached directory matches the
+        artifact's current bytes. Because the cache key is the ETag, an
+        in-place refit lands in a *new* directory — the columns a live
+        store of the previous generation has mmapped are never
+        rewritten. A pre-existing un-keyed ``<artifact>.layout/`` cache
+        is still reused while its ETag matches.
         """
         path = Path(path)
         if path.is_dir():
             return cls(ServingLayout(path))
         etag = artifact_etag(path)
-        layout_dir = (
-            Path(layout_dir)
-            if layout_dir is not None
-            else Path(str(path) + ".layout")
-        )
+        managed = layout_dir is None
+        if managed:
+            store = cls._from_cache(Path(str(path) + ".layout"), etag)
+            if store is not None:
+                return store
+            layout_dir = Path(f"{path}.layout-{etag[:16]}")
+        else:
+            layout_dir = Path(layout_dir)
+        store = cls._from_cache(layout_dir, etag)
+        if store is not None:
+            return store
+        if managed and layout_dir.exists():
+            # The ETag-keyed name is ours and its contents are torn
+            # (a matching cache would have been returned above): no
+            # live store can have opened it — the constructor maps the
+            # core columns up front — so clearing it for a clean
+            # export is safe. An *explicit* layout_dir is never
+            # deleted; export_layout refuses it with the remedy.
+            shutil.rmtree(layout_dir, ignore_errors=True)
+        export_layout(path, layout_dir, etag=etag)
+        store = cls(ServingLayout(layout_dir))
+        if managed:
+            # Any other cache generation is now provably stale: it was
+            # checked above (legacy name) or keyed to older bytes.
+            cls._gc_stale_layouts(path, keep=layout_dir)
+        return store
+
+    @classmethod
+    def _from_cache(
+        cls, directory: Path, etag: str
+    ) -> "MmapTrustStore | None":
+        """The store over ``directory`` if it caches exactly ``etag``."""
         try:
-            layout = ServingLayout(layout_dir)
+            layout = ServingLayout(directory)
             if layout.etag == etag:
                 return cls(layout)
         except LayoutError:
             pass
-        export_layout(path, layout_dir, etag=etag)
-        return cls(ServingLayout(layout_dir))
+        return None
+
+    @staticmethod
+    def _gc_stale_layouts(path: Path, keep: Path) -> None:
+        """Drop cache generations for artifact bytes that no longer
+        exist. Best-effort: on POSIX, unlinking files a live store still
+        has mmapped is safe (the inodes outlive the directory entries);
+        where unlink fails (e.g. Windows), the stale dir just stays."""
+        for candidate in path.parent.glob(path.name + ".layout*"):
+            if candidate != keep and candidate.is_dir():
+                shutil.rmtree(candidate, ignore_errors=True)
 
     # ------------------------------------------------------------------
     # Introspection

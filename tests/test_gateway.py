@@ -25,7 +25,7 @@ from repro.io.mmap_layout import (
     artifact_etag,
     export_layout,
 )
-from repro.serving.gateway import GatewayThread
+from repro.serving.gateway import Gateway, GatewayThread
 from repro.serving.http import TrustRequestHandler, TrustServer, serve
 from repro.serving.manager import StoreManager
 from repro.serving.mmap_store import MmapTrustStore
@@ -164,6 +164,45 @@ class TestServingLayout:
         with pytest.raises(LayoutError, match="re-export"):
             layout.array("site_score")
 
+    def test_export_reuses_identical_existing_layout(self, artifact,
+                                                     tmp_path):
+        """Re-exporting the same artifact bytes into the same directory
+        is a no-op reuse, never a rewrite (the files may be mmapped)."""
+        manifest_path = export_layout(artifact, tmp_path / "layout")
+        mtime = manifest_path.stat().st_mtime_ns
+        again = export_layout(artifact, tmp_path / "layout")
+        assert again == manifest_path
+        assert manifest_path.stat().st_mtime_ns == mtime
+
+    def test_export_refuses_foreign_existing_directory(
+        self, artifact, artifact_b, tmp_path
+    ):
+        """A directory holding a different artifact's layout (whose
+        columns a live store may have mmapped) is never overwritten."""
+        export_layout(artifact, tmp_path / "layout")
+        before = sorted(
+            (p.name, p.stat().st_mtime_ns)
+            for p in (tmp_path / "layout").iterdir()
+        )
+        with pytest.raises(LayoutError, match="refusing to export"):
+            export_layout(artifact_b, tmp_path / "layout")
+        after = sorted(
+            (p.name, p.stat().st_mtime_ns)
+            for p in (tmp_path / "layout").iterdir()
+        )
+        assert after == before  # not a single file touched
+        # The refused export left no temp debris behind either.
+        assert [p.name for p in tmp_path.iterdir()] == ["layout"]
+
+    def test_export_refuses_torn_existing_directory(self, artifact,
+                                                    tmp_path):
+        directory = tmp_path / "layout"
+        directory.mkdir()
+        (directory / "junk").write_text("not a layout")
+        with pytest.raises(LayoutError, match="refusing to export"):
+            export_layout(artifact, directory)
+        assert (directory / "junk").read_text() == "not a layout"
+
 
 class TestMmapParity:
     @pytest.mark.parametrize("path,params", REQUESTS)
@@ -197,6 +236,33 @@ class TestMmapParity:
         assert second.etag != first.etag
         assert second.etag == artifact_etag(path)
         assert "fresh.com" in second
+
+    def test_inplace_refit_never_touches_live_layout(self, tmp_path):
+        """An in-place refit (same path, new bytes) exports into a
+        *fresh* directory: the columns the live store has mmapped are
+        never truncated or rewritten, so it keeps serving the old
+        generation byte-for-byte."""
+        path = tmp_path / "model.kbt"
+        KBTEstimator().fit(corpus()).save(path)
+        first = MmapTrustStore.open(path)
+        before = render(first, "/top", {"k": ["5"]})
+        KBTEstimator().fit(corpus(extra_site="fresh.com")).save(path)
+        second = MmapTrustStore.open(path)
+        assert second.directory != first.directory
+        # The old store's mmaps are intact (POSIX: even if its cache
+        # directory was garbage-collected, the mapped inodes survive).
+        assert render(first, "/top", {"k": ["5"]}) == before
+        assert "fresh.com" in second and "fresh.com" not in first
+
+    def test_legacy_unkeyed_layout_cache_is_reused(self, tmp_path):
+        """A pre-existing `<artifact>.layout/` cache (the pre-ETag-keyed
+        naming) keeps being served from while its ETag matches."""
+        path = tmp_path / "model.kbt"
+        KBTEstimator().fit(corpus()).save(path)
+        legacy_dir = tmp_path / "model.kbt.layout"
+        export_layout(path, legacy_dir)
+        store = MmapTrustStore.open(path)
+        assert store.directory == legacy_dir
 
 
 # ----------------------------------------------------------------------
@@ -267,12 +333,12 @@ def http_get(address, path, headers=None):
         connection.close()
 
 
-def http_post(address, path, body):
+def http_post(address, path, body, headers=None):
     connection = http.client.HTTPConnection(*address, timeout=10)
     try:
         connection.request(
             "POST", path, body=json.dumps(body).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": "application/json", **(headers or {})},
         )
         response = connection.getresponse()
         return response.status, response.read()
@@ -377,6 +443,14 @@ class TestGatewayHttp:
             )
             assert status == 400
             assert b"sites" in body
+
+            # 304 is a conditional-GET mechanism: a POST carrying a
+            # matching If-None-Match is executed unconditionally.
+            status, conditional = http_post(
+                gateway.address, "/batch", {"sites": sites},
+                headers={"If-None-Match": f'"{manager.etag}"'},
+            )
+            assert (status, conditional) == (200, get_body)
         finally:
             gateway.stop()
 
@@ -532,6 +606,92 @@ class TestHotSwap:
         assert not failures, failures[:5]
         assert manager.generation == 3
 
+    def test_swap_after_inplace_refit_under_load(self, tmp_path):
+        """The production flow the layout cache must survive: the
+        artifact is refit IN PLACE (same path, new bytes) while a
+        gateway serves it, then swapped via the admin endpoint. The
+        re-export must land in a fresh directory — readers of the old
+        generation keep getting complete, untorn bodies throughout."""
+        live = tmp_path / "live.kbt"
+        KBTEstimator().fit(corpus()).save(live)
+        probes = ["/score?site=good.com", "/top?k=5",
+                  "/breakdown?site=bad.com"]
+        allowed: dict[str, set[bytes]] = {probe: set() for probe in probes}
+
+        def record(store):
+            for probe in probes:
+                path, _, query = probe.partition("?")
+                params = {
+                    k: [v]
+                    for k, v in (
+                        pair.split("=") for pair in query.split("&") if pair
+                    )
+                }
+                _, body = render(store, path, params)
+                allowed[probe].add(body)
+
+        store_a = MmapTrustStore.open(live)
+        record(store_a)
+        manager = StoreManager(store_a)
+        gateway = GatewayThread(manager, workers=4).start()
+        failures: list[str] = []
+        stop = threading.Event()
+
+        def client(worker: int) -> None:
+            connection = http.client.HTTPConnection(
+                *gateway.address, timeout=10
+            )
+            try:
+                n = 0
+                while not stop.is_set() or n < 10:
+                    probe = probes[n % len(probes)]
+                    n += 1
+                    connection.request("GET", probe)
+                    response = connection.getresponse()
+                    body = response.read()
+                    if response.status != 200:
+                        failures.append(
+                            f"{probe}: status {response.status}"
+                        )
+                    elif body not in allowed[probe]:
+                        failures.append(f"{probe}: torn body {body!r}")
+                    if stop.is_set() and n >= 10:
+                        break
+            except Exception as err:  # noqa: BLE001 - recorded as failure
+                failures.append(
+                    f"client {worker}: {type(err).__name__}: {err}"
+                )
+            finally:
+                connection.close()
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(4)
+        ]
+        old_etag = manager.etag
+        try:
+            for thread in threads:
+                thread.start()
+            time.sleep(0.05)
+            # Refit in place: same path, new bytes, new ETag. Opening
+            # exports the new layout (and may GC the old directory's
+            # entries) while store_a's mmaps are still serving.
+            KBTEstimator().fit(corpus(extra_site="refit.example")).save(live)
+            record(MmapTrustStore.open(live))
+            status, body = http_post(
+                gateway.address, "/admin/swap", {"artifact": str(live)}
+            )
+            assert status == 200, body
+            time.sleep(0.05)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        finally:
+            stop.set()
+            gateway.stop()
+        assert not failures, failures[:5]
+        assert manager.etag == artifact_etag(live) != old_etag
+        assert manager.generation == 1
+
     def test_corrupt_swap_rejected_old_store_serves(
         self, artifact, tmp_path
     ):
@@ -623,6 +783,87 @@ class TestHotSwap:
 
 
 # ----------------------------------------------------------------------
+# Admin endpoint authentication
+# ----------------------------------------------------------------------
+class TestAdminAuth:
+    def test_configured_token_gates_swap(self, artifact, artifact_b):
+        manager = StoreManager(MmapTrustStore.open(artifact))
+        gateway = GatewayThread(manager, admin_token="sekrit").start()
+        try:
+            swap_body = {"artifact": str(artifact_b)}
+            status, body = http_post(
+                gateway.address, "/admin/swap", swap_body
+            )
+            assert status == 403
+            assert b"X-Admin-Token" in body
+            status, _ = http_post(
+                gateway.address, "/admin/swap", swap_body,
+                headers={"X-Admin-Token": "wrong"},
+            )
+            assert status == 403
+            assert manager.generation == 0
+            # Ordinary read traffic is never token-gated.
+            status, _, _ = http_get(gateway.address, "/score?site=good.com")
+            assert status == 200
+            status, body = http_post(
+                gateway.address, "/admin/swap", swap_body,
+                headers={"X-Admin-Token": "sekrit"},
+            )
+            assert status == 200, body
+            assert manager.generation == 1
+            assert manager.etag == artifact_etag(artifact_b)
+        finally:
+            gateway.stop()
+
+    def test_kbt_swap_sends_token(self, artifact, artifact_b, capsys,
+                                  monkeypatch):
+        manager = StoreManager(MmapTrustStore.open(artifact))
+        gateway = GatewayThread(manager, admin_token="sekrit").start()
+        try:
+            host, port = gateway.address
+            exit_code = cli_main(
+                ["swap", str(artifact_b), "--server", f"{host}:{port}"]
+            )
+            assert exit_code == 1
+            assert "403" in capsys.readouterr().err
+            exit_code = cli_main(
+                ["swap", str(artifact_b), "--server", f"{host}:{port}",
+                 "--token", "sekrit"]
+            )
+            assert exit_code == 0
+            assert manager.generation == 1
+            # The env var is the flagless default for both CLI ends.
+            monkeypatch.setenv("KBT_ADMIN_TOKEN", "sekrit")
+            exit_code = cli_main(
+                ["swap", str(artifact), "--server", f"{host}:{port}"]
+            )
+            assert exit_code == 0
+            assert manager.generation == 2
+        finally:
+            gateway.stop()
+
+    def test_admin_allowed_matrix(self, artifact):
+        manager = StoreManager(MmapTrustStore.open(artifact))
+        gateway = Gateway(manager)
+        try:
+            # No token configured: loopback peers only.
+            assert gateway._admin_allowed({}, ("127.0.0.1", 40000))
+            assert gateway._admin_allowed({}, ("::1", 40000, 0, 0))
+            assert not gateway._admin_allowed({}, ("203.0.113.9", 40000))
+            assert not gateway._admin_allowed({}, None)
+            assert not gateway._admin_allowed({}, ("not-an-ip", 1))
+            # Token configured: the token decides, loopback included.
+            gateway.admin_token = "sekrit"
+            assert not gateway._admin_allowed({}, ("127.0.0.1", 40000))
+            assert gateway._admin_allowed(
+                {"x-admin-token": "sekrit"}, ("203.0.113.9", 40000)
+            )
+        finally:
+            gateway._pool.shutdown(wait=False)
+            manager.close()
+
+
+# ----------------------------------------------------------------------
 # Legacy endpoint regressions
 # ----------------------------------------------------------------------
 class TestLegacyServerFixes:
@@ -645,6 +886,30 @@ class TestLegacyServerFixes:
         assert len(created) == 1
         # The listening socket must be closed, not leaked until exit.
         assert created[0]._httpd.socket.fileno() == -1
+
+    def test_shutdown_before_thread_runs_does_not_hang(
+        self, artifact, monkeypatch
+    ):
+        """start() marks the serve loop as entered BEFORE launching the
+        thread: a shutdown() racing an unscheduled daemon thread must
+        still issue the stop request, or join() would block forever on
+        a thread that later enters serve_forever."""
+        store = TrustStore.open(artifact)
+        parked = []
+        real_start = threading.Thread.start
+        monkeypatch.setattr(
+            threading.Thread, "start",
+            lambda self: parked.append(self),  # thread not yet scheduled
+        )
+        server = TrustServer(store, port=0)
+        server.start()
+        assert server._entered_loop  # up before the thread ever ran
+        monkeypatch.undo()
+        # Now let the thread run and stop it; with the flag already set
+        # shutdown() always issues the (blocking) stop request.
+        real_start(parked[0])
+        server.shutdown()
+        assert server._httpd.socket.fileno() == -1
 
     def test_send_swallows_broken_pipe(self):
         class BrokenPipe:
