@@ -52,6 +52,16 @@ The subcommands mirror the fit -> persist -> query lifecycle:
 
       kbt update model.kbt new_records.jsonl
 
+* ``ingest`` — run the continuous pipeline: tail a spool directory (or
+  stdin), fold micro-batches in with warm updates, cold-refit when the
+  staleness policy fires, and hot-swap every generation into a running
+  gateway. SIGINT/SIGTERM drain cleanly::
+
+      kbt ingest model.kbt --watch spool/ \\
+          --batch-records 500 --batch-seconds 2 \\
+          --refit-after 50 --drift-refit-threshold 0.1 \\
+          --gateway http://127.0.0.1:8080 --token SECRET
+
 * ``estimate`` — deprecated alias: fit and print scores without
   persisting anything (the pre-lifecycle behaviour).
 
@@ -278,6 +288,106 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_exec_options(update)
     _add_summary_options(update)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help=(
+            "run the continuous pipeline: micro-batch updates, "
+            "staleness-triggered refits, hot swaps into a gateway"
+        ),
+    )
+    ingest.add_argument(
+        "artifact",
+        help=(
+            "the cold-fit trust artifact to start from (saved with "
+            "observations, the default)"
+        ),
+    )
+    feed = ingest.add_mutually_exclusive_group(required=True)
+    feed.add_argument(
+        "--watch", default=None, metavar="DIR",
+        help=(
+            "tail every *.jsonl spool file in DIR; partially written "
+            "trailing lines are re-read once complete, appends and new "
+            "files are picked up automatically"
+        ),
+    )
+    feed.add_argument(
+        "--stdin", action="store_true",
+        help="read JSONL records from standard input until EOF",
+    )
+    ingest.add_argument(
+        "--batch-records", type=int, default=500, metavar="N",
+        help="flush a batch at N records (default 500)",
+    )
+    ingest.add_argument(
+        "--batch-seconds", type=float, default=2.0, metavar="S",
+        help=(
+            "flush a partial batch S seconds after its first record "
+            "(default 2.0) — records or seconds, whichever first"
+        ),
+    )
+    ingest.add_argument(
+        "--sweeps", type=int, default=2,
+        help="EM sweeps per incremental update (default 2)",
+    )
+    ingest.add_argument(
+        "--refit-after", type=int, default=None, metavar="N",
+        help=(
+            "force a cold refit after N warm updates since the last "
+            "cold fit (default: no count trigger)"
+        ),
+    )
+    ingest.add_argument(
+        "--drift-refit-threshold", type=float, default=None, metavar="D",
+        help=(
+            "cold refit when any website's score has drifted more than "
+            "D from the last cold fit (default: no drift trigger)"
+        ),
+    )
+    ingest.add_argument(
+        "--alert-band", type=float, default=0.05, metavar="D",
+        help=(
+            "emit a drift alert when a website moves more than D "
+            "between consecutive generations (default 0.05)"
+        ),
+    )
+    ingest.add_argument(
+        "--gateway", default=None, metavar="URL",
+        help=(
+            "hot-swap each generation into the running "
+            "'kbt serve --gateway' at URL (e.g. http://127.0.0.1:8080); "
+            "the gateway must see the same filesystem. Default: write "
+            "generations without publishing"
+        ),
+    )
+    ingest.add_argument(
+        "--token", default=None, metavar="SECRET",
+        help=(
+            "admin token sent as X-Admin-Token on swap and status "
+            "pushes; defaults to $KBT_ADMIN_TOKEN"
+        ),
+    )
+    ingest.add_argument(
+        "--generations-dir", default=None, metavar="DIR",
+        help=(
+            "where versioned generation artifacts land "
+            "(default: <artifact>.generations/)"
+        ),
+    )
+    ingest.add_argument(
+        "--keep-generations", type=int, default=5, metavar="N",
+        help=(
+            "retain the newest N generation artifacts, dropping older "
+            "ones and their exported layouts (default 5)"
+        ),
+    )
+    ingest.add_argument(
+        "--max-batches", type=int, default=None, metavar="N",
+        help="stop after N batches (smoke tests; default: run until "
+        "signalled)",
+    )
+    _add_exec_options(ingest)
 
     worker = sub.add_parser(
         "worker",
@@ -836,6 +946,105 @@ def run_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_ingest(args: argparse.Namespace) -> int:
+    import os
+    import signal as signal_module
+    import threading
+
+    from repro.ingest import (
+        HttpPublisher,
+        IngestPipeline,
+        MicroBatcher,
+        QueueRecordSource,
+        SpoolDirectorySource,
+        StalenessPolicy,
+    )
+    from repro.io.jsonl import record_from_dict
+
+    fitted = FittedKBT.load(args.artifact)
+
+    stdin_error: list[str] = []
+    if args.watch is not None:
+        source = SpoolDirectorySource(args.watch)
+    else:
+        source = QueueRecordSource()
+
+        def _read_stdin() -> None:
+            try:
+                for line in sys.stdin:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    source.push(record_from_dict(json.loads(line)))
+            except (ValueError, json.JSONDecodeError) as err:
+                stdin_error.append(f"bad record on stdin: {err}")
+            finally:
+                source.close()
+
+        threading.Thread(target=_read_stdin, daemon=True).start()
+
+    batcher = MicroBatcher(
+        source,
+        max_records=args.batch_records,
+        max_latency=args.batch_seconds,
+    )
+    # SIGINT and SIGTERM both drain: the pending partial batch is
+    # flushed, processed, and published before the process exits.
+    for signum in (signal_module.SIGINT, signal_module.SIGTERM):
+        try:
+            signal_module.signal(signum, lambda *_: batcher.stop())
+        except (ValueError, OSError):
+            pass  # off the main thread (embedded use)
+
+    token = args.token or os.environ.get("KBT_ADMIN_TOKEN")
+    publisher = (
+        HttpPublisher(args.gateway, token=token) if args.gateway else None
+    )
+    update_options = {
+        key: value
+        for key, value in {
+            "backend": args.backend,
+            "num_shards": args.shards,
+            "spill_dir": args.spill_dir,
+            "max_resident_shards": args.max_resident_shards,
+            "remote_endpoint": args.remote_endpoint,
+            "num_workers": args.num_workers,
+        }.items()
+        if value is not None
+    }
+    pipeline = IngestPipeline(
+        fitted,
+        args.generations_dir or f"{args.artifact}.generations",
+        publisher=publisher,
+        policy=StalenessPolicy(
+            refit_after_batches=args.refit_after,
+            drift_refit_threshold=args.drift_refit_threshold,
+            alert_band=args.alert_band,
+        ),
+        sweeps=args.sweeps,
+        keep_generations=args.keep_generations,
+        update_options=update_options,
+    )
+    print(
+        f"ingesting into {pipeline.generations_dir} "
+        f"(batch <= {args.batch_records} records or "
+        f"{args.batch_seconds:g}s"
+        + (f", publishing to {args.gateway}" if args.gateway else "")
+        + ")",
+        flush=True,
+    )
+    batches = pipeline.run(batcher.batches(), max_batches=args.max_batches)
+    if stdin_error:
+        print(f"error: {stdin_error[0]}", file=sys.stderr)
+        return 1
+    print(
+        f"drained: {batches} batches, {pipeline.records_ingested} records, "
+        f"{pipeline.refits} cold refits, generation {pipeline.generation}",
+        flush=True,
+    )
+    return 0
+
+
 def run_worker(args: argparse.Namespace) -> int:
     from repro.exec.remote import run_worker
 
@@ -903,6 +1112,8 @@ def main(argv: list[str] | None = None) -> int:
             return run_swap(args)
         if args.command == "update":
             return run_update(args)
+        if args.command == "ingest":
+            return run_ingest(args)
         if args.command == "worker":
             return run_worker(args)
         if args.command == "demo":

@@ -1,0 +1,39 @@
+"""Continuous ingestion: a live trust pipeline over micro-batches.
+
+Streams of extraction records flow in (:mod:`repro.ingest.stream`),
+warm ``update()`` generations flow out as versioned artifacts that are
+hot-swapped into serving (:mod:`repro.ingest.pipeline`), while a
+staleness policy watches drift and schedules cold refits
+(:mod:`repro.ingest.policy`) and a status board feeds the gateway's
+``GET /ingest/status`` (:mod:`repro.ingest.status`).
+"""
+
+from repro.ingest.pipeline import (
+    HttpPublisher,
+    IngestPipeline,
+    InProcessPublisher,
+    PublishError,
+)
+from repro.ingest.policy import DriftAlert, DriftStats, StalenessPolicy
+from repro.ingest.status import StatusBoard
+from repro.ingest.stream import (
+    MicroBatcher,
+    QueueRecordSource,
+    RecordSource,
+    SpoolDirectorySource,
+)
+
+__all__ = [
+    "DriftAlert",
+    "DriftStats",
+    "HttpPublisher",
+    "IngestPipeline",
+    "InProcessPublisher",
+    "MicroBatcher",
+    "PublishError",
+    "QueueRecordSource",
+    "RecordSource",
+    "SpoolDirectorySource",
+    "StalenessPolicy",
+    "StatusBoard",
+]

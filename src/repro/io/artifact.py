@@ -36,11 +36,12 @@ from __future__ import annotations
 import dataclasses
 import io
 import json
-import os
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
+
+from repro.io.atomic import atomic_write
 
 from repro.core.config import (
     AbsenceScope,
@@ -362,42 +363,70 @@ def save_artifact(
     }
 
     path = Path(path)
-    # Write-then-rename: `kbt update` overwrites its input artifact in
-    # place by default, so a half-written zip must never land on the
-    # target path (disk full, Ctrl-C, ...).
-    temp_path = path.with_name(path.name + ".tmp")
-    try:
-        with zipfile.ZipFile(temp_path, "w", zipfile.ZIP_DEFLATED) as archive:
+    # Atomic write-then-rename: `kbt update` overwrites its input
+    # artifact in place by default, so a half-written zip must never
+    # land on the target path (disk full, Ctrl-C, power loss ...).
+    with atomic_write(path, "wb") as handle:
+        with zipfile.ZipFile(handle, "w", zipfile.ZIP_DEFLATED) as archive:
             archive.writestr(
-                _HEADER_MEMBER, json.dumps(header, ensure_ascii=False)
+                _zip_member(_HEADER_MEMBER),
+                json.dumps(header, ensure_ascii=False),
             )
             if payload_kind == "npz":
-                np = _numpy()
-                buffer = io.BytesIO()
-                np.savez(
-                    buffer,
-                    **{
-                        name: np.asarray(
-                            data,
-                            dtype=(
-                                np.float64 if name.endswith(
-                                    ("_p", "_conf", "_precision", "_recall",
-                                     "_q", "_score", "_sup_val")
-                                ) or name == "acc_value"
-                                else np.int64
-                            ),
-                        )
-                        for name, data in arrays.items()
-                    },
+                archive.writestr(
+                    _zip_member(_NPZ_MEMBER), _deterministic_npz(arrays)
                 )
-                archive.writestr(_NPZ_MEMBER, buffer.getvalue())
             else:
-                archive.writestr(_JSON_MEMBER, json.dumps(arrays))
-        os.replace(temp_path, path)
-    except BaseException:
-        temp_path.unlink(missing_ok=True)
-        raise
+                archive.writestr(
+                    _zip_member(_JSON_MEMBER), json.dumps(arrays)
+                )
     return path
+
+
+#: The fixed member timestamp (the zip epoch) that makes artifact bytes
+#: a pure function of the fitted state: equal fits produce equal files,
+#: so replaying a record stream through the ingest pipeline yields
+#: bit-identical artifacts (and equal serving ETags) to running the same
+#: update sequence by hand, whenever it happens to run.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
+
+
+def _zip_member(name: str) -> zipfile.ZipInfo:
+    info = zipfile.ZipInfo(name, date_time=_ZIP_EPOCH)
+    info.compress_type = zipfile.ZIP_DEFLATED
+    info.external_attr = 0o644 << 16
+    return info
+
+
+def _deterministic_npz(arrays: dict[str, list]) -> bytes:
+    """The ``payload.npz`` bytes, independent of the wall clock.
+
+    ``np.savez`` stamps each member with the current time, which would
+    make byte-level artifact comparisons (the replay-identity guarantee
+    of :mod:`repro.ingest`) time-dependent. This builds the same
+    uncompressed npz container — ``np.load`` reads it like any other —
+    with the member timestamps pinned to the zip epoch.
+    """
+    np = _numpy()
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", zipfile.ZIP_STORED) as inner:
+        for name, data in arrays.items():
+            array = np.asarray(
+                data,
+                dtype=(
+                    np.float64 if name.endswith(
+                        ("_p", "_conf", "_precision", "_recall",
+                         "_q", "_score", "_sup_val")
+                    ) or name == "acc_value"
+                    else np.int64
+                ),
+            )
+            member = io.BytesIO()
+            np.lib.format.write_array(member, array)
+            info = zipfile.ZipInfo(f"{name}.npy", date_time=_ZIP_EPOCH)
+            info.external_attr = 0o644 << 16
+            inner.writestr(info, member.getvalue())
+    return buffer.getvalue()
 
 
 # ----------------------------------------------------------------------

@@ -107,14 +107,47 @@ def read_record_chunks(
     (:class:`~repro.core.indexing.StreamingCorpus`): concatenating the
     chunks reproduces :func:`read_records` exactly, but no more than
     ``chunk_size`` parsed records exist at once.
+
+    Unlike :func:`read_records`, a *partially written trailing line* —
+    truncated JSON at EOF with no terminating newline, as produced by a
+    writer appending to the file concurrently (a live spool, or a
+    ``fit --spill-dir`` run pointed at a growing extraction log) — is
+    not an error: the chunks up to the last complete record are
+    returned cleanly and a tailer can resume from there. A malformed
+    line *inside* the file (newline-terminated garbage) still raises,
+    since no further append can ever complete it.
     """
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     chunk: list[ExtractionRecord] = []
-    for record in read_records(path):
-        chunk.append(record)
-        if len(chunk) >= chunk_size:
-            yield chunk
-            chunk = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            terminated = line.endswith("\n")
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as error:
+                if not terminated:
+                    # The file's final bytes are a record still being
+                    # written; stop at the last complete one.
+                    break
+                raise ValueError(
+                    f"{path}:{line_number}: invalid JSON"
+                ) from error
+            try:
+                record = record_from_dict(data)
+            except ValueError:
+                if not terminated:
+                    # A torn tail can parse as JSON on its own (e.g.
+                    # the "1" of an in-flight "12345"); only a
+                    # newline-terminated record is trusted to be whole.
+                    break
+                raise
+            chunk.append(record)
+            if len(chunk) >= chunk_size:
+                yield chunk
+                chunk = []
     if chunk:
         yield chunk

@@ -61,6 +61,7 @@ from http import HTTPStatus
 from pathlib import Path
 from urllib.parse import parse_qs, urlsplit
 
+from repro.ingest.status import StatusBoard
 from repro.io.artifact import ArtifactError
 from repro.io.mmap_layout import LayoutError
 from repro.serving.manager import StoreManager
@@ -120,6 +121,7 @@ class Gateway:
         batch_fanout: int = 4,
         cache_size: int = 1024,
         admin_token: str | None = None,
+        ingest_board: StatusBoard | None = None,
     ) -> None:
         self.manager = manager
         self.host = host
@@ -129,6 +131,9 @@ class Gateway:
         self.batch_chunk = batch_chunk
         self.batch_fanout = batch_fanout
         self.admin_token = admin_token
+        # Shared with an in-process IngestPipeline, or fed remotely via
+        # POST /ingest/status; either way GET /ingest/status reads it.
+        self.ingest_board = ingest_board or StatusBoard()
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="kbt-gateway"
         )
@@ -301,7 +306,10 @@ class Gateway:
         if method == "GET" and path == "/readyz":
             await self._respond(writer, *self._readyz())
             return keep_alive
-        if method == "POST" and path == "/admin/swap":
+        if method == "GET" and path == "/ingest/status":
+            await self._respond(writer, *self._ingest_status())
+            return keep_alive
+        if method == "POST" and path in ("/admin/swap", "/ingest/status"):
             if not self._admin_allowed(
                 headers, writer.get_extra_info("peername")
             ):
@@ -315,7 +323,10 @@ class Gateway:
                     },
                 )
                 return keep_alive
-            status, payload = await self._swap(body)
+            if path == "/admin/swap":
+                status, payload = await self._swap(body)
+            else:
+                status, payload = self._ingest_publish(body)
             await self._respond(writer, status, payload)
             return keep_alive
         if method == "POST" and path == "/batch":
@@ -496,11 +507,34 @@ class Gateway:
     def _readyz(self) -> tuple[int, dict]:
         if self._draining:
             return 503, {"status": "draining"}
+        status = self.manager.status()
         return 200, {
             "status": "ready",
-            "etag": self.manager.etag,
-            "generation": self.manager.generation,
+            "etag": status["etag"],
+            "generation": status["generation"],
         }
+
+    # ------------------------------------------------------------------
+    # Ingest observability
+    # ------------------------------------------------------------------
+    def _ingest_status(self) -> tuple[int, dict]:
+        snapshot = self.ingest_board.snapshot()
+        if snapshot is None:
+            return 404, {
+                "error": "no ingest pipeline has reported status"
+            }
+        return 200, snapshot
+
+    def _ingest_publish(self, body: bytes) -> tuple[int, dict]:
+        """Land a remote pipeline's status snapshot on the board."""
+        try:
+            snapshot = json.loads(body)
+            self.ingest_board.replace(snapshot)
+        except (ValueError, TypeError) as err:
+            return 400, {
+                "error": f"bad status snapshot: {err}"
+            }
+        return 200, {"status": "accepted"}
 
     def _admin_allowed(self, headers: dict[str, str], peer) -> bool:
         """May this client hit ``/admin/swap``?

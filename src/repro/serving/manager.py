@@ -84,6 +84,7 @@ class StoreManager:
         self._current = _Entry(store)
         self._opener = opener
         self._generation = 0
+        self._closed = False
 
     # ------------------------------------------------------------------
     @property
@@ -97,6 +98,20 @@ class StoreManager:
         """The current store's artifact ETag (None for legacy stores)."""
         with self._lock:
             return getattr(self._current.store, "etag", None)
+
+    def status(self) -> dict:
+        """Swap generation + current ETag in one O(1) lock acquisition.
+
+        The cheap introspection surface for anything that needs to know
+        *which* store generation is serving without leasing it — the
+        gateway's ``/readyz``, the ingest pipeline's published status,
+        and tests asserting swap monotonicity all read this.
+        """
+        with self._lock:
+            return {
+                "generation": self._generation,
+                "etag": getattr(self._current.store, "etag", None),
+            }
 
     def acquire(self) -> StoreLease:
         """Borrow the current store; release when the response is done."""
@@ -123,15 +138,36 @@ class StoreManager:
         layout — raises here and leaves the old store serving. The old
         generation closes when its last in-flight lease releases.
 
+        A swap against a *closed* manager (the gateway already drained)
+        raises instead of flipping: the built store would have no owner
+        left to ever close it, stranding its mmaps and layout directory.
+        The closed check runs again under the lock after the build, so
+        a close racing the (slow) build also lands on this path — the
+        freshly built store is closed before raising.
+
         Returns the new store.
         """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(
+                    "StoreManager is closed; refusing to swap in "
+                    f"{artifact_path}"
+                )
         new_store = self._opener(artifact_path)
         with self._lock:
-            old = self._current
-            old.retired = True
-            close_old = old.leases == 0
-            self._current = _Entry(new_store)
-            self._generation += 1
+            closed = self._closed
+            if not closed:
+                old = self._current
+                old.retired = True
+                close_old = old.leases == 0
+                self._current = _Entry(new_store)
+                self._generation += 1
+        if closed:
+            new_store.close()
+            raise RuntimeError(
+                "StoreManager closed while building the new store; "
+                f"refusing to swap in {artifact_path}"
+            )
         if close_old:
             old.store.close()
         return new_store
@@ -139,6 +175,7 @@ class StoreManager:
     def close(self) -> None:
         """Retire the current store (closes once all leases release)."""
         with self._lock:
+            self._closed = True
             entry = self._current
             entry.retired = True
             close = entry.leases == 0

@@ -143,7 +143,18 @@ class MmapTrustStore:
             # deleted; export_layout refuses it with the remedy.
             shutil.rmtree(layout_dir, ignore_errors=True)
         export_layout(path, layout_dir, etag=etag)
-        store = cls(ServingLayout(layout_dir))
+        try:
+            store = cls(ServingLayout(layout_dir))
+        except BaseException:
+            if managed:
+                # The directory was exported moments ago exclusively
+                # for this open (no matching cache existed above), so
+                # no live store can be mapping it. Opening what we just
+                # wrote failed, so the export is unusable — leaving it
+                # behind would strand a layout every later open keeps
+                # matching by ETag and failing on.
+                shutil.rmtree(layout_dir, ignore_errors=True)
+            raise
         if managed:
             # Any other cache generation is now provably stale: it was
             # checked above (legacy name) or keyed to older bytes.
