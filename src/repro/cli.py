@@ -461,6 +461,17 @@ def _add_model_options(parser: argparse.ArgumentParser) -> None:
         "--engine", choices=list(registry.engine_names()), default="numpy",
         help="inference engine (numpy: vectorized, several times faster)",
     )
+    parser.add_argument(
+        "--precision", choices=["float64", "float32"], default=None,
+        help=(
+            "arithmetic precision of the numpy engine's E steps: float64 "
+            "(default, the reference arithmetic every bit-identity "
+            "guarantee is stated against) or float32 (fused "
+            "single-precision kernels, faster and half the working set; "
+            "scores stay within the documented precision envelope of "
+            "float64 — see docs/architecture.md)"
+        ),
+    )
     _add_exec_options(parser)
 
 
@@ -540,6 +551,16 @@ def _add_exec_options(parser: argparse.ArgumentParser) -> None:
             "used for re-dispatch and speculation)"
         ),
     )
+    parser.add_argument(
+        "--reduce-chunk", type=int, default=None, metavar="N",
+        help=(
+            "stream the per-iteration reduce over the global arrays in "
+            "windows of N elements instead of whole-array scans "
+            "(bit-identical results for any N; with --spill-dir the "
+            "file-backed resident set stays bounded by one window per "
+            "array; implies --backend serial unless one is given)"
+        ),
+    )
 
 
 def _add_summary_options(parser: argparse.ArgumentParser) -> None:
@@ -584,6 +605,8 @@ def _build_estimator(args: argparse.Namespace) -> KBTEstimator:
         resume=True if args.resume else None,
         remote_endpoint=args.remote_endpoint,
         num_workers=args.num_workers,
+        reduce_chunk=args.reduce_chunk,
+        precision=args.precision,
     )
 
 
@@ -931,6 +954,7 @@ def run_update(args: argparse.Namespace) -> int:
         resume=True if args.resume else None,
         remote_endpoint=args.remote_endpoint,
         num_workers=args.num_workers,
+        reduce_chunk=args.reduce_chunk,
     )
     out_path = args.artifact_out or args.artifact
     updated.save(out_path)
@@ -1009,6 +1033,7 @@ def run_ingest(args: argparse.Namespace) -> int:
             "max_resident_shards": args.max_resident_shards,
             "remote_endpoint": args.remote_endpoint,
             "num_workers": args.num_workers,
+            "reduce_chunk": args.reduce_chunk,
         }.items()
         if value is not None
     }

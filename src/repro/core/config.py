@@ -218,6 +218,29 @@ class MultiLayerConfig:
             waits for before dispatching round 1 (default 1); workers
             joining later are still used for re-dispatch and
             speculation. Requires ``backend="remote"``.
+        reduce_chunk: when set, the sharded driver's per-iteration
+            *reduce* (the theta_1 / theta_2 parameter update) streams
+            over the compiled global arrays in contiguous chunks of this
+            many elements instead of scanning them whole, releasing each
+            window's file-backed pages as it goes under ``spill_dir``
+            (:func:`repro.exec.spill.advise_dontneed_window`). Chunked
+            accumulation seeds every scatter-add with the running totals
+            so the summation order is *exactly* the whole-scan order:
+            float64 results are **bit-identical** for every backend,
+            shard count, and chunk size (determinism-ladder entry 7).
+            Requires ``backend``.
+        precision: floating-point mode of the numpy engine. The default
+            ``"float64"`` is the reference arithmetic every determinism
+            guarantee is stated in. ``"float32"`` opts into the fused
+            single-precision E-step kernels
+            (:mod:`repro.core.engine_numpy`): elementwise C/V-step
+            passes run in float32 through preallocated scratch buffers
+            while scatter-adds and the parameter update stay float64.
+            Faster and half the E-step memory traffic, but **not**
+            bit-compatible with float64 — see the precision contract in
+            ``docs/architecture.md`` for the documented deviation bound.
+            Requires ``engine="numpy"`` and no execution backend (the
+            sharded / distributed paths are float64-only).
     """
 
     n: int = 10
@@ -263,6 +286,14 @@ class MultiLayerConfig:
     #: (default 1). Late joiners are still accepted mid-fit as
     #: speculation and re-dispatch targets. Requires ``backend="remote"``.
     num_workers: int | None = None
+    #: Elements per contiguous window of the streamed per-iteration
+    #: reduce (None: whole-array scan). Bit-identical for any value;
+    #: requires ``backend``.
+    reduce_chunk: int | None = None
+    #: ``"float64"`` (reference) or ``"float32"`` (fused single-precision
+    #: E-step kernels, numpy engine only, no backend; see the precision
+    #: contract in docs/architecture.md).
+    precision: str = "float64"
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -332,6 +363,36 @@ class MultiLayerConfig:
                 )
             if self.num_workers < 1:
                 raise ValueError("num_workers must be >= 1")
+        if self.reduce_chunk is not None:
+            if self.backend is None:
+                raise ValueError(
+                    "reduce_chunk (streamed per-iteration reduce) only "
+                    "applies to sharded execution: set backend to one of "
+                    f"{', '.join(registry.backend_names())}"
+                )
+            if self.reduce_chunk < 1:
+                raise ValueError(
+                    f"reduce_chunk must be >= 1, got {self.reduce_chunk}"
+                )
+        if self.precision not in ("float64", "float32"):
+            raise ValueError(
+                f"precision must be 'float64' or 'float32', got "
+                f"{self.precision!r}"
+            )
+        if self.precision == "float32":
+            if self.engine != "numpy":
+                raise ValueError(
+                    'precision="float32" runs the numpy engine\'s fused '
+                    f'kernels: use engine="numpy", got '
+                    f"engine={self.engine!r}"
+                )
+            if self.backend is not None:
+                raise ValueError(
+                    'precision="float32" is single-process only: the '
+                    "sharded/distributed execution paths are float64 "
+                    "(their bit-identity contract is stated in float64); "
+                    "drop the backend setting or use precision='float64'"
+                )
         if not 0.0 < self.gamma < 1.0:
             raise ValueError("gamma must be in (0, 1)")
         if not 0.0 < self.alpha < 1.0:

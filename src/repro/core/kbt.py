@@ -235,17 +235,22 @@ class FittedKBT:
         resume: bool | None = None,
         remote_endpoint: str | None = None,
         num_workers: int | None = None,
+        reduce_chunk: int | None = None,
+        precision: str | None = None,
     ) -> "FittedKBT":
         """Fold new extraction records in without a full refit.
 
         ``backend`` / ``num_shards`` / ``spill_dir`` /
         ``max_resident_shards`` / ``checkpoint_dir`` /
         ``checkpoint_every`` / ``resume`` / ``remote_endpoint`` /
-        ``num_workers`` override the sharded execution
-        settings for this update only (see
+        ``num_workers`` / ``reduce_chunk`` / ``precision`` override the
+        sharded execution settings for this update only (see
         :class:`~repro.core.config.MultiLayerConfig`); by default the
         update runs with the fit's own configuration. Results are
-        backend- and residency-invariant either way.
+        backend- and residency-invariant either way (``reduce_chunk``
+        included — the streamed reduce is bit-identical); only
+        ``precision="float32"`` changes the arithmetic, within the
+        documented envelope.
 
         Converged extractor qualities are frozen at their fitted values
         and the source/value layers re-run for ``sweeps`` EM iterations on
@@ -300,6 +305,8 @@ class FittedKBT:
             or resume is not None
             or remote_endpoint is not None
             or num_workers is not None
+            or reduce_chunk is not None
+            or precision is not None
         ):
             delta_config = replace(
                 delta_config, **_execution_overrides(
@@ -313,6 +320,8 @@ class FittedKBT:
                     resume,
                     remote_endpoint,
                     num_workers,
+                    reduce_chunk,
+                    precision,
                 )
             )
         delta_result = MultiLayerModel(delta_config).fit(
@@ -502,6 +511,17 @@ class KBTEstimator:
         num_workers: when given, overrides ``config.num_workers``: how
             many workers the remote coordinator waits for before the
             fit starts.
+        reduce_chunk: when given, overrides ``config.reduce_chunk`` —
+            the per-iteration reduce streams the global arrays in
+            windows of this many elements (bit-identical to the
+            whole-array scan; determinism-ladder entry 7). A
+            backend-less config is upgraded to ``backend="serial"``.
+        precision: when given, overrides ``config.precision`` —
+            ``"float32"`` runs the numpy engine's fused single-precision
+            E-step kernels (see the precision contract in
+            ``docs/architecture.md``); a (default) python-engine config
+            is upgraded to ``engine="numpy"``. Float64 stays the
+            default and the reference arithmetic.
     """
 
     def __init__(
@@ -520,6 +540,8 @@ class KBTEstimator:
         resume: bool | None = None,
         remote_endpoint: str | None = None,
         num_workers: int | None = None,
+        reduce_chunk: int | None = None,
+        precision: str | None = None,
     ) -> None:
         if min_triples < 0:
             raise ValueError(f"min_triples must be >= 0, got {min_triples}")
@@ -536,6 +558,8 @@ class KBTEstimator:
             or resume is not None
             or remote_endpoint is not None
             or num_workers is not None
+            or reduce_chunk is not None
+            or precision is not None
         ):
             overrides = _execution_overrides(
                 self._config,
@@ -548,6 +572,8 @@ class KBTEstimator:
                 resume,
                 remote_endpoint,
                 num_workers,
+                reduce_chunk,
+                precision,
             )
             if engine is not None:
                 # The caller pinned the engine explicitly: no silent
@@ -672,6 +698,8 @@ def _execution_overrides(
     resume: bool | None = None,
     remote_endpoint: str | None = None,
     num_workers: int | None = None,
+    reduce_chunk: int | None = None,
+    precision: str | None = None,
 ) -> dict:
     """Config overrides for an execution backend / shard-count request.
 
@@ -679,11 +707,14 @@ def _execution_overrides(
     requesting a backend on a (default) python-engine config upgrades the
     engine too — the results are bit-identical to the numpy engine and
     within 1e-9 of the python engine either way. Likewise, requesting a
-    spill directory (out-of-core streaming) or a checkpoint directory on
-    a backend-less config upgrades the backend to ``serial``, and a
-    coordinator endpoint upgrades it to ``remote`` — all of these run
-    through the sharded driver. An explicit ``engine="python"`` together
-    with a backend is rejected by ``MultiLayerConfig`` validation.
+    spill directory (out-of-core streaming), a checkpoint directory, or a
+    streamed reduce chunk on a backend-less config upgrades the backend
+    to ``serial``, and a coordinator endpoint upgrades it to ``remote``
+    — all of these run through the sharded driver. Requesting
+    ``precision="float32"`` on a (default) python-engine config upgrades
+    the engine to ``numpy``, which hosts the fused kernels. An explicit
+    ``engine="python"`` together with a backend is rejected by
+    ``MultiLayerConfig`` validation.
     """
     overrides: dict = {}
     if backend is not None:
@@ -691,11 +722,17 @@ def _execution_overrides(
     elif remote_endpoint is not None and config.backend is None:
         overrides["backend"] = "remote"
     elif (
-        spill_dir is not None or checkpoint_dir is not None
+        spill_dir is not None
+        or checkpoint_dir is not None
+        or reduce_chunk is not None
     ) and config.backend is None:
         overrides["backend"] = "serial"
     if "backend" in overrides and config.engine == "python":
         overrides["engine"] = "numpy"
+    if precision is not None:
+        overrides["precision"] = precision
+        if precision == "float32" and config.engine == "python":
+            overrides["engine"] = "numpy"
     if num_shards is not None:
         overrides["num_shards"] = num_shards
     if spill_dir is not None:
@@ -712,6 +749,8 @@ def _execution_overrides(
         overrides["remote_endpoint"] = remote_endpoint
     if num_workers is not None:
         overrides["num_workers"] = num_workers
+    if reduce_chunk is not None:
+        overrides["reduce_chunk"] = reduce_chunk
     return overrides
 
 

@@ -183,6 +183,14 @@ class ObservationMatrix:
         processed source w" (the ACTIVE absence-vote scope) must not
         shrink just because most of w's claims fall outside the item
         slice.
+
+        Cell order is pinned by sorting the item and claiming-source
+        sets: set iteration order varies with string hash randomization
+        (``PYTHONHASHSEED``), and the sub-matrix's insertion order
+        becomes the compiled problem's coordinate order — which the EM
+        scatter-adds associate in. Without the sort, a warm-start
+        ``update`` would produce hash-seed-dependent float bytes,
+        breaking determinism-ladder entry 6 across processes.
         """
         out = object.__new__(ObservationMatrix)
         cells: dict[Coord, dict[ExtractorKey, float]] = {}
@@ -190,7 +198,7 @@ class ObservationMatrix:
         source_index: dict[SourceKey, list[tuple[DataItem, Value]]] = {}
         extractor_index: dict[ExtractorKey, dict[Coord, float]] = {}
         num_records = 0
-        for item in items:
+        for item in sorted(items, key=str):
             values = self._item_index.get(item)
             if not values:
                 continue
@@ -198,7 +206,7 @@ class ObservationMatrix:
                 value: set(claiming) for value, claiming in values.items()
             }
             for value, claiming in values.items():
-                for source in claiming:
+                for source in sorted(claiming, key=str):
                     coord = (source, item, value)
                     cell = dict(self._cells[coord])
                     cells[coord] = cell

@@ -73,6 +73,11 @@ _EXECUTION_FIELDS = frozenset(
         "remote_endpoint",
         "num_workers",
         "convergence",
+        # The streamed reduce is bit-identical to the whole-array scan,
+        # so resuming across different chunk sizes is legal. precision
+        # is deliberately NOT here: float32 changes the numbers, so a
+        # resume across precision modes must be rejected.
+        "reduce_chunk",
     }
 )
 

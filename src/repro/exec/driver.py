@@ -48,6 +48,7 @@ from repro.core.engine_numpy import (
     init_params,
     iteration_inputs,
     update_parameters,
+    update_parameters_streamed,
 )
 from repro.core.indexing import CompiledProblem, compile_problem
 from repro.core.observation import ObservationMatrix
@@ -89,9 +90,11 @@ def fit_sharded(
         )
 
     out_of_core = cfg.spill_dir is not None
+    release_window = None
     if out_of_core:
         from repro.exec.spill import (
             OutOfCoreShardSource,
+            advise_dontneed_window,
             release_problem_pages,
             spill_problem_arrays,
         )
@@ -102,8 +105,10 @@ def fit_sharded(
         )
         prob = spill_problem_arrays(prob, cfg.spill_dir)
         # Drop the resident packets and arrays: from here on the corpus
-        # is served from evictable file-backed pages only.
+        # is served from evictable file-backed pages only. A streamed
+        # reduce additionally releases each scanned window as it goes.
         plan = None
+        release_window = advise_dontneed_window
     else:
         source = plan
 
@@ -216,9 +221,25 @@ def fit_sharded(
                     )
                 restore_posterior = posterior.copy()
 
-            accuracy_delta, extractor_delta = update_parameters(
-                cfg, prob, params, p_correct, posterior
-            )
+            if cfg.reduce_chunk is not None:
+                # Streamed reduce: windowed scans of the global arrays,
+                # bit-identical to the whole-array scan (seeded
+                # scatter-add accumulation); out-of-core fits release
+                # each window's file-backed pages as soon as it is
+                # consumed.
+                accuracy_delta, extractor_delta = update_parameters_streamed(
+                    cfg,
+                    prob,
+                    params,
+                    p_correct,
+                    posterior,
+                    cfg.reduce_chunk,
+                    release=release_window,
+                )
+            else:
+                accuracy_delta, extractor_delta = update_parameters(
+                    cfg, prob, params, p_correct, posterior
+                )
             history.append(
                 IterationSnapshot(iteration, accuracy_delta, extractor_delta)
             )

@@ -197,6 +197,40 @@ def _load_mapped(path: Path) -> np.ndarray:
         ) from err
 
 
+#: Paths whose madvise failure has already been reported this process.
+#: ``advise_dontneed`` runs per-eviction / per-chunk inside tight loops,
+#: so an environment where madvise always fails (some containers,
+#: filesystems without page-cache control) would otherwise emit one
+#: RuntimeWarning per eviction — thousands per fit. One warning per
+#: mapped file per process carries the same information.
+_madvise_warned_paths: set[str] = set()
+_madvise_warn_lock = threading.Lock()
+
+
+def _reset_madvise_warning_cache() -> None:
+    """Forget which paths already warned (test hook)."""
+    with _madvise_warn_lock:
+        _madvise_warned_paths.clear()
+
+
+def _warn_madvise_failure(array: np.ndarray, err: Exception) -> None:
+    """Emit the madvise-failure warning, at most once per path."""
+    path = str(getattr(array, "filename", None) or "<anonymous mapping>")
+    with _madvise_warn_lock:
+        if path in _madvise_warned_paths:
+            return
+        _madvise_warned_paths.add(path)
+    errno = getattr(err, "errno", None)
+    warnings.warn(
+        f"madvise(MADV_DONTNEED) failed for {path}"
+        f" (errno={errno}): {err}; mapped pages will stay "
+        "resident until the kernel evicts them (reported once per "
+        "mapped file per process)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def advise_dontneed(*arrays: np.ndarray | None) -> None:
     """Best-effort eager page release for memory-mapped arrays.
 
@@ -208,7 +242,9 @@ def advise_dontneed(*arrays: np.ndarray | None) -> None:
     ``madvise`` is still worth hearing about, though: it means the eager
     release the out-of-core mode promises is silently not happening, so
     the resident set will grow — it surfaces as a ``RuntimeWarning``
-    naming the mapped file and errno rather than an exception.
+    naming the mapped file and errno rather than an exception, emitted
+    at most once per mapped file per process so per-eviction call sites
+    do not flood the log.
     """
     import mmap as _mmap
 
@@ -221,15 +257,54 @@ def advise_dontneed(*arrays: np.ndarray | None) -> None:
         try:
             mapping.madvise(_mmap.MADV_DONTNEED)
         except (ValueError, OSError) as err:
-            path = getattr(array, "filename", None) or "<anonymous mapping>"
-            errno = getattr(err, "errno", None)
-            warnings.warn(
-                f"madvise(MADV_DONTNEED) failed for {path}"
-                f" (errno={errno}): {err}; mapped pages will stay "
-                "resident until the kernel evicts them",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+            _warn_madvise_failure(array, err)
+
+
+def iter_chunks(total: int, chunk: int):
+    """Yield ``(lo, hi)`` half-open windows covering ``range(total)``.
+
+    The streamed per-iteration reduce walks every chunked array family
+    through these windows in ascending order, so the last window is the
+    only one shorter than ``chunk``. ``total == 0`` yields nothing.
+    """
+    if chunk < 1:
+        raise ValueError(f"chunk size must be >= 1, got {chunk}")
+    for lo in range(0, total, chunk):
+        yield lo, min(lo + chunk, total)
+
+
+def advise_dontneed_window(array: np.ndarray, lo: int, hi: int) -> None:
+    """Release the pages backing elements ``[lo, hi)`` of a mapped array.
+
+    The per-chunk counterpart of :func:`advise_dontneed`: after the
+    streamed reduce consumes a window of a spilled global array, its
+    pages are dropped immediately, bounding the file-backed resident
+    set to roughly one chunk per array instead of one full scan. The
+    start byte is aligned *down* to a page boundary — safe because
+    windows are consumed in ascending order, so the shared boundary page
+    belongs to an already-consumed chunk — and the end is clamped to the
+    mapping. No-op for resident arrays; failures warn through the same
+    once-per-path limiter as :func:`advise_dontneed`.
+    """
+    import mmap as _mmap
+
+    if not hasattr(_mmap, "MADV_DONTNEED"):  # pragma: no cover - platform
+        return
+    mapping = getattr(array, "_mmap", None)
+    if mapping is None or hi <= lo:
+        return
+    # np.memmap maps the file from the allocation-granularity floor of
+    # its byte offset; the array data starts at the remainder.
+    data_start = int(getattr(array, "offset", 0)) % _mmap.ALLOCATIONGRANULARITY
+    start = data_start + lo * array.itemsize
+    end = min(data_start + hi * array.itemsize, len(mapping))
+    start -= start % _mmap.PAGESIZE
+    if end <= start:
+        return
+    try:
+        mapping.madvise(_mmap.MADV_DONTNEED, start, end - start)
+    except (ValueError, OSError) as err:
+        _warn_madvise_failure(array, err)
 
 
 def release_problem_pages(prob: CompiledProblem) -> None:
@@ -426,6 +501,8 @@ __all__ = [
     "OutOfCoreShardSource",
     "SpillError",
     "advise_dontneed",
+    "advise_dontneed_window",
+    "iter_chunks",
     "persist_plan",
     "release_problem_pages",
     "spill_problem_arrays",

@@ -237,11 +237,17 @@ def save_artifact(
     arrays["eq_q"] = [q.q for q in result.extractor_quality.values()]
 
     # --- estimable sets ------------------------------------------------
+    # Sorted: these are the only *sets* serialized, and raw set order
+    # varies with string hash randomization — which would make artifact
+    # bytes differ between processes for the same fit, breaking
+    # determinism-ladder entry 6 (replay produces byte-identical
+    # artifacts). They decode back into sets, so order is free here.
     arrays["est_sources"] = [
-        sources.add(s) for s in result.estimable_sources
+        sources.add(s) for s in sorted(result.estimable_sources, key=str)
     ]
     arrays["est_extractors"] = [
-        extractors.add(e) for e in result.estimable_extractors
+        extractors.add(e)
+        for e in sorted(result.estimable_extractors, key=str)
     ]
 
     # --- extraction posteriors (C layer) ------------------------------

@@ -631,3 +631,156 @@ def test_cli_fit_spill_matches_plain_fit(kv_small, tmp_path, capsys):
     ) == 0
     assert plain_csv.read_text() == spill_csv.read_text()
     assert (tmp_path / "spill" / "manifest.json").is_file()
+
+
+# ----------------------------------------------------------------------
+# Page-release plumbing: chunk windows and the madvise warning limiter
+# ----------------------------------------------------------------------
+class _FailingMapping:
+    """Stands in for an ``mmap.mmap`` whose madvise always fails."""
+
+    def __init__(self, size=1 << 20):
+        self._size = size
+        self.calls = 0
+
+    def __len__(self):
+        return self._size
+
+    def madvise(self, *args):
+        self.calls += 1
+        raise OSError(22, "madvise rejected")
+
+
+class _FakeMapped:
+    """Duck-typed np.memmap: just the attributes the release path reads."""
+
+    def __init__(self, filename, mapping):
+        self.filename = filename
+        self._mmap = mapping
+        self.offset = 0
+        self.itemsize = 8
+
+
+class TestMadviseWarningCap:
+    def test_warns_once_per_path(self):
+        import warnings
+
+        from repro.exec.spill import (
+            _reset_madvise_warning_cache,
+            advise_dontneed,
+            advise_dontneed_window,
+        )
+
+        _reset_madvise_warning_cache()
+        mapping = _FailingMapping()
+        array = _FakeMapped("/tmp/shard0.npy", mapping)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(50):
+                advise_dontneed(array)
+            for lo in range(0, 500, 100):
+                advise_dontneed_window(array, lo, lo + 100)
+        assert mapping.calls == 55  # the release is still attempted
+        messages = [w for w in caught if w.category is RuntimeWarning]
+        assert len(messages) == 1, (
+            "madvise failure must be reported exactly once per mapped "
+            f"file per process, saw {len(messages)} warnings"
+        )
+        text = str(messages[0].message)
+        assert "/tmp/shard0.npy" in text
+        assert "once per mapped file" in text
+
+    def test_distinct_paths_each_warn(self):
+        import warnings
+
+        from repro.exec.spill import (
+            _reset_madvise_warning_cache,
+            advise_dontneed,
+        )
+
+        _reset_madvise_warning_cache()
+        arrays = [
+            _FakeMapped(f"/tmp/shard{i}.npy", _FailingMapping())
+            for i in range(3)
+        ]
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(10):
+                advise_dontneed(*arrays)
+        paths = sorted(
+            str(w.message).split(" failed for ")[1].split(" (errno")[0]
+            for w in caught
+            if w.category is RuntimeWarning
+        )
+        assert paths == [f"/tmp/shard{i}.npy" for i in range(3)]
+
+    def test_reset_hook_rearms_the_warning(self):
+        import warnings
+
+        from repro.exec.spill import (
+            _reset_madvise_warning_cache,
+            advise_dontneed,
+        )
+
+        _reset_madvise_warning_cache()
+        array = _FakeMapped("/tmp/rearm.npy", _FailingMapping())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            advise_dontneed(array)
+            advise_dontneed(array)
+            _reset_madvise_warning_cache()
+            advise_dontneed(array)
+        assert (
+            len([w for w in caught if w.category is RuntimeWarning]) == 2
+        )
+
+
+class TestChunkWindows:
+    def test_iter_chunks_covers_range(self):
+        from repro.exec.spill import iter_chunks
+
+        for total in (0, 1, 5, 16, 17):
+            for chunk in (1, 3, 16, 100):
+                windows = list(iter_chunks(total, chunk))
+                flat = [i for lo, hi in windows for i in range(lo, hi)]
+                assert flat == list(range(total)), (total, chunk)
+                assert all(hi - lo <= chunk for lo, hi in windows)
+                # ascending, non-overlapping: the alignment trick in
+                # advise_dontneed_window depends on this order.
+                assert windows == sorted(windows)
+
+    def test_iter_chunks_rejects_nonpositive(self):
+        from repro.exec.spill import iter_chunks
+
+        with pytest.raises(ValueError, match="chunk"):
+            list(iter_chunks(10, 0))
+
+    def test_window_release_on_real_memmap(self, tmp_path):
+        """Releasing windows of a real spilled array is harmless: no
+        warning, and the data reads back intact afterwards."""
+        import warnings
+
+        from repro.exec.spill import (
+            _reset_madvise_warning_cache,
+            advise_dontneed_window,
+            iter_chunks,
+        )
+
+        _reset_madvise_warning_cache()
+        path = tmp_path / "window.npy"
+        reference = np.arange(5000, dtype=np.float64)
+        np.save(path, reference)
+        mapped = np.load(path, mmap_mode="r")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for lo, hi in iter_chunks(len(mapped), 512):
+                chunk = np.asarray(mapped[lo:hi])
+                assert np.array_equal(chunk, reference[lo:hi])
+                advise_dontneed_window(mapped, lo, hi)
+        assert not [w for w in caught if w.category is RuntimeWarning]
+        assert np.array_equal(np.asarray(mapped), reference)
+
+    def test_window_release_noop_for_resident_arrays(self):
+        from repro.exec.spill import advise_dontneed_window
+
+        advise_dontneed_window(np.arange(10.0), 0, 10)  # must not raise
